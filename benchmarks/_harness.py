@@ -1,0 +1,23 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper figure through the experiment
+registry, printing its table(s) and writing them under ``results/``.
+``pedantic(rounds=1)`` because an experiment is itself a repeated-trial
+measurement -- re-running it inside pytest-benchmark's calibration loop
+would multiply runtimes for no statistical gain.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import emit, run
+
+
+def regenerate(figure: str):
+    """Run one figure's experiment and persist its tables."""
+    paths = [emit(result) for result in run(figure)]
+    return paths
+
+
+def bench_figure(benchmark, figure: str) -> None:
+    """Benchmark wrapper: one timed regeneration of ``figure``."""
+    benchmark.pedantic(regenerate, args=(figure,), rounds=1, iterations=1)

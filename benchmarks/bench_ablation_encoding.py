@@ -1,0 +1,12 @@
+"""Ablation: simple vs compact SALSA encoding at equal memory.
+
+Expected shape: compact fits more counters (slightly lower NRMSE) but
+pays divmod-decoding cost on every access (lower throughput) -- the
+trade-off section IV describes.
+"""
+
+from _harness import bench_figure
+
+
+def test_ablation_encoding(benchmark):
+    bench_figure(benchmark, "ablation_encoding")

@@ -1,0 +1,40 @@
+"""Extension benches: SALSA against the related-work design space.
+
+Regenerates ``results/ext_*.txt`` -- measured counterparts to the
+claims the paper's related-work section makes in prose.  See
+``repro.experiments.figures_extensions`` for the expectations.
+"""
+
+from benchmarks._harness import bench_figure
+
+
+def test_ext_heavy_hitters(benchmark):
+    bench_figure(benchmark, "ext_heavy_hitters")
+
+
+def test_ext_distinct(benchmark):
+    bench_figure(benchmark, "ext_distinct")
+
+
+def test_ext_nitro(benchmark):
+    bench_figure(benchmark, "ext_nitro")
+
+
+def test_ext_estimators(benchmark):
+    bench_figure(benchmark, "ext_estimators")
+
+
+def test_ext_augmented(benchmark):
+    bench_figure(benchmark, "ext_augmented")
+
+
+def test_ext_cuckoo(benchmark):
+    bench_figure(benchmark, "ext_cuckoo")
+
+
+def test_ext_partitioned(benchmark):
+    bench_figure(benchmark, "ext_partitioned")
+
+
+def test_ablation_hashing(benchmark):
+    bench_figure(benchmark, "ablation_hashing")

@@ -1,0 +1,17 @@
+"""Fig 4: how large should SALSA's base counters be?
+
+Regenerates the NRMSE-vs-skew curves for SALSA-s (s in {2,4,8,16})
+against the 32-bit Baseline, at fixed counter memory, for CMS (4a) and
+CS (4b).  Expected shape: most of the gain comes from 32 -> 8 bits;
+smaller s helps most at low skew.
+"""
+
+from _harness import bench_figure
+
+
+def test_fig4a_cms_counter_size(benchmark):
+    bench_figure(benchmark, "fig4a")
+
+
+def test_fig4b_cs_counter_size(benchmark):
+    bench_figure(benchmark, "fig4b")

@@ -1,0 +1,14 @@
+"""Fig 5: sum-merge vs max-merge accuracy.
+
+Expected shape: max is slightly more accurate, especially at low skew.
+"""
+
+from _harness import bench_figure
+
+
+def test_fig5a_merge_policy_memory_sweep(benchmark):
+    bench_figure(benchmark, "fig5a")
+
+
+def test_fig5b_merge_policy_skew_sweep(benchmark):
+    bench_figure(benchmark, "fig5b")

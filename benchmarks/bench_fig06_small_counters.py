@@ -1,0 +1,16 @@
+"""Fig 6: can one simply use small fixed counters?  No.
+
+Expected shape: 8/16-bit CMS collapse on heavy hitters past their
+saturation values (6a) and degrade as streams lengthen (6b); 32-bit
+and SALSA do not.
+"""
+
+from _harness import bench_figure
+
+
+def test_fig6a_heavy_hitter_threshold_sweep(benchmark):
+    bench_figure(benchmark, "fig6a")
+
+
+def test_fig6b_stream_length_sweep(benchmark):
+    bench_figure(benchmark, "fig6b")

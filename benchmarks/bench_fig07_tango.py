@@ -1,0 +1,15 @@
+"""Fig 7: is fine-grained (Tango) merging worth it?
+
+Expected shape: Tango marginally more accurate than SALSA at equal s,
+nowhere near enough to justify its decode cost.
+"""
+
+from _harness import bench_figure
+
+
+def test_fig7a_tango_memory_sweep(benchmark):
+    bench_figure(benchmark, "fig7a")
+
+
+def test_fig7b_tango_skew_sweep(benchmark):
+    bench_figure(benchmark, "fig7b")

@@ -1,0 +1,17 @@
+"""Fig 8: SALSA vs Pyramid vs ABC vs Baseline (speed, NRMSE, AAE, ARE).
+
+Expected shape: SALSA best/competitive on NRMSE everywhere; ABC's
+NRMSE floors once heavy hitters pass 2^13 - 1; the Baseline loses on
+AAE/ARE across the range; the variable-size schemes pay a throughput
+tax over the Baseline.
+"""
+
+from _harness import bench_figure
+
+
+def test_fig8_ny18_all_panels(benchmark):
+    bench_figure(benchmark, "fig8_ny18")
+
+
+def test_fig8_ch16_all_panels(benchmark):
+    bench_figure(benchmark, "fig8_ch16")

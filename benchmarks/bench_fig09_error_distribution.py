@@ -1,0 +1,16 @@
+"""Fig 9: per-element error distributions (as quantile tables).
+
+Expected shape: SALSA has low error variance; Pyramid's tail blows up
+(sibling MSB sharing, region A); ABC's max error is the saturated
+heavy hitter (region B).
+"""
+
+from _harness import bench_figure
+
+
+def test_fig9a_ny18_error_quantiles(benchmark):
+    bench_figure(benchmark, "fig9a")
+
+
+def test_fig9b_ch16_error_quantiles(benchmark):
+    bench_figure(benchmark, "fig9b")

@@ -1,0 +1,20 @@
+"""Fig 10: SALSA CMS/CUS error (a-d) and speed (e-h) on four datasets.
+
+Expected shape: SALSA roughly halves the memory needed for a given
+NRMSE on the skewed traces; the gain narrows on the low-skew Univ2;
+SALSA pays a throughput tax for its merging logic.
+"""
+
+import pytest
+
+from _harness import bench_figure
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c", "d"])
+def test_fig10_error(benchmark, panel):
+    bench_figure(benchmark, f"fig10{panel}")
+
+
+@pytest.mark.parametrize("panel", ["e", "f", "g", "h"])
+def test_fig10_speed(benchmark, panel):
+    bench_figure(benchmark, f"fig10{panel}")

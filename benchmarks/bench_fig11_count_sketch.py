@@ -1,0 +1,14 @@
+"""Fig 11: SALSA CS vs Baseline CS NRMSE on four datasets.
+
+Expected shape: statistically significant SALSA wins on NY18, CH16 and
+YouTube; a wash on Univ2 where the encoding overhead offsets the gain.
+"""
+
+import pytest
+
+from _harness import bench_figure
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c", "d"])
+def test_fig11_cs_error(benchmark, panel):
+    bench_figure(benchmark, f"fig11{panel}")

@@ -1,0 +1,16 @@
+"""Fig 12: SALSA UnivMon -- entropy and Fp moment estimation.
+
+Expected shape: SALSA levels improve both tasks; smaller s helps
+entropy; the Fp gain concentrates at large p (small p is cardinality-
+dominated).
+"""
+
+from _harness import bench_figure
+
+
+def test_fig12a_entropy(benchmark):
+    bench_figure(benchmark, "fig12a")
+
+
+def test_fig12b_moments(benchmark):
+    bench_figure(benchmark, "fig12b")

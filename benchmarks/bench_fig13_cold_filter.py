@@ -1,0 +1,11 @@
+"""Fig 13: Cold Filter with a SALSA stage 2.
+
+Expected shape: SALSA saves up to ~half the space at small memory,
+with the benefit fading as stage 1 absorbs everything.
+"""
+
+from _harness import bench_figure
+
+
+def test_fig13_cold_filter(benchmark):
+    bench_figure(benchmark, "fig13")

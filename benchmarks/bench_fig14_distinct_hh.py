@@ -1,0 +1,15 @@
+"""Fig 14: count distinct (a-c) and heavy-hitter sizes (d-f).
+
+Expected shape: SALSA's Linear Counting works at lower memory and with
+lower ARE (more, smaller cells); SALSA sizes heavy hitters better,
+especially at small phi.
+"""
+
+import pytest
+
+from _harness import bench_figure
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c", "d", "e", "f"])
+def test_fig14(benchmark, panel):
+    bench_figure(benchmark, f"fig14{panel}")

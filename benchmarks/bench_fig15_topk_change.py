@@ -1,0 +1,15 @@
+"""Fig 15: Top-k (a/b) and change detection (c/d) with Count Sketch.
+
+Expected shape: SALSA detects top-k more accurately under constrained
+memory (biggest gains at large k / low skew) and wins change-detection
+NRMSE across memory and skew.
+"""
+
+import pytest
+
+from _harness import bench_figure
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c", "d"])
+def test_fig15(benchmark, panel):
+    bench_figure(benchmark, f"fig15{panel}")

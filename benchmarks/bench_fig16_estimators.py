@@ -1,0 +1,15 @@
+"""Fig 16: estimator algorithms (AEE family vs SALSA AEE).
+
+Expected shape: SALSA AEE tracks the best of SALSA and AEE
+MaxAccuracy; SALSA AEE_10's aggressive downsampling trades accuracy
+for speed; AEE variants are the fastest (skipped hashes).
+"""
+
+import pytest
+
+from _harness import bench_figure
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c", "d"])
+def test_fig16(benchmark, panel):
+    bench_figure(benchmark, f"fig16{panel}")

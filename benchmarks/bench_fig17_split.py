@@ -1,0 +1,13 @@
+"""Fig 17: splitting counters after downsampling in SALSA AEE.
+
+Expected shape: a minor, mostly insignificant accuracy effect.
+"""
+
+import pytest
+
+from _harness import bench_figure
+
+
+@pytest.mark.parametrize("panel", ["a", "b"])
+def test_fig17(benchmark, panel):
+    bench_figure(benchmark, f"fig17{panel}")

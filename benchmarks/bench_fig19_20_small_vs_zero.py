@@ -1,0 +1,16 @@
+"""Figs 19-20 (Appendix B): small counters vs the "0" algorithm.
+
+Expected shape: at the all-flows point the "0" estimator beats every
+real sketch on ARE/AAE; past the saturation thresholds the small-
+counter variants collapse while SALSA and 32-bit stay accurate.
+"""
+
+from _harness import bench_figure
+
+
+def test_fig19_are(benchmark):
+    bench_figure(benchmark, "fig19")
+
+
+def test_fig20_aae(benchmark):
+    bench_figure(benchmark, "fig20")

@@ -1,0 +1,43 @@
+"""Counting distinct flows with Linear Counting over sketch rows.
+
+DoS detectors watch the number of *distinct* sources; section V shows
+the same CMS used for frequencies can answer this via Linear Counting
+on its zero counters -- and that SALSA's smaller cells make the
+estimator usable at memory levels where 32-bit rows saturate.
+
+Run:  python examples/count_distinct.py
+"""
+
+from repro import CountMinSketch, SalsaCountMin, dataset
+from repro.tasks import distinct_count_baseline, distinct_count_salsa
+
+STREAM_LENGTH = 120_000
+
+
+def main() -> None:
+    trace = dataset("ch16", STREAM_LENGTH, seed=6)
+    exact = trace.distinct_count()
+    print(f"trace: {trace.volume} packets, {exact} distinct flows\n")
+    print(f"{'memory':>8} {'baseline est':>14} {'SALSA est':>12}")
+
+    for kib in (2, 4, 8, 16, 32):
+        memory = kib * 1024
+        base = CountMinSketch.for_memory(memory, d=4, seed=8)
+        salsa = SalsaCountMin.for_memory(memory, d=4, s=8, seed=8)
+        for x in trace:
+            base.update(x)
+            salsa.update(x)
+        base_est = distinct_count_baseline(base)
+        salsa_est = distinct_count_salsa(salsa)
+        base_txt = f"{base_est:.0f}" if base_est is not None else "saturated"
+        salsa_txt = f"{salsa_est:.0f}" if salsa_est is not None else "saturated"
+        print(f"{kib:>6}KB {base_txt:>14} {salsa_txt:>12}")
+
+    print(f"\nexact distinct count: {exact}")
+    print("SALSA's rows have ~3.5x the cells, so Linear Counting keeps "
+          "working\nat budgets where the 32-bit baseline has no zero "
+          "counters left.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Hierarchical heavy hitters: find the heavy *subnets*, not just flows.
+
+A DDoS source, a misbehaving rack, or a scanning botnet often shows up
+as a heavy /16 or /24 even when no single source address is heavy.
+This example streams synthetic traffic containing (a) one genuinely
+heavy host and (b) a diffuse /24 whose 200 hosts are individually cold,
+then queries the per-level SALSA sketches for every prefix above 5%.
+
+Run:  python examples/hierarchical_prefixes.py
+"""
+
+import random
+
+from repro.core import SalsaCountMin
+from repro.tasks import HierarchicalHeavyHitters, dotted
+
+
+def main() -> None:
+    hhh = HierarchicalHeavyHitters(
+        lambda level: SalsaCountMin.for_memory(16 * 1024, d=4, s=8,
+                                               seed=level))
+    rng = random.Random(7)
+
+    heavy_host = 0xC6336401            # 198.51.100.1
+    botnet_base = 0xCB007100           # 203.0.113.0/24
+
+    for _ in range(30_000):
+        roll = rng.random()
+        if roll < 0.12:
+            address = heavy_host                       # 12%: one host
+        elif roll < 0.30:
+            address = botnet_base | rng.randrange(200)  # 18%: diffuse /24
+        else:
+            address = rng.getrandbits(32)               # background
+        hhh.update(address)
+
+    print(f"streamed {hhh.n:,} packets; memory "
+          f"{hhh.memory_bytes // 1024}KB across {len(hhh.levels)} levels\n")
+    print(f"{'prefix':>20} {'share':>7}")
+    for prefix, bits, estimate in hhh.query(phi=0.05):
+        print(f"{dotted(prefix, bits):>20} {estimate / hhh.n:>6.1%}")
+
+    print("\nThe heavy host surfaces all the way to /32; the botnet's "
+          "/24 surfaces\nwhile its individual hosts (~0.09% each) stay "
+          "below every threshold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Lp sampling over SALSA Count Sketch.
+
+The paper's conclusion proposes SALSA inside Lp-samplers [50].  An L2
+sampler draws a random flow with probability proportional to its
+*squared* frequency -- useful for variance-weighted telemetry export,
+where you want to inspect packets of flows that dominate F2 (e.g. for
+DDoS forensics) without tracking every flow exactly.
+
+This example runs many independent L2 samplers over the same skewed
+stream and compares the empirical sampling rates with the true
+f^2 / F2 distribution, then contrasts against L1 sampling rates.
+
+Run:  python examples/lp_sampling.py
+"""
+
+import collections
+
+from repro import zipf_trace
+from repro.core import l1_sampler, l2_sampler
+
+SAMPLERS = 120
+STREAM = 3_000
+
+
+def empirical_rates(make_sampler) -> collections.Counter:
+    """Sampling rates across independent sampler instances."""
+    wins: collections.Counter = collections.Counter()
+    for seed in range(SAMPLERS):
+        sampler = make_sampler(seed)
+        for x in zipf_trace(STREAM, 1.2, universe=1_000, seed=99):
+            sampler.update(x)
+        wins[sampler.sample()] += 1
+    return wins
+
+
+def main() -> None:
+    trace = zipf_trace(STREAM, 1.2, universe=1_000, seed=99)
+    freq = trace.frequencies()
+    f1 = sum(freq.values())
+    f2 = sum(f * f for f in freq.values())
+    top = sorted(freq, key=freq.get, reverse=True)[:5]
+
+    l2_wins = empirical_rates(
+        lambda s: l2_sampler(w=1024, d=5, seed=s, candidates=32))
+    l1_wins = empirical_rates(
+        lambda s: l1_sampler(w=1024, d=5, seed=s, candidates=32))
+
+    print(f"{SAMPLERS} independent samplers over a skew-1.2 stream "
+          f"({len(freq)} flows)\n")
+    print(f"{'flow':>8} {'f':>6} {'f/F1':>7} {'L1 rate':>8} "
+          f"{'f^2/F2':>7} {'L2 rate':>8}")
+    for x in top:
+        f = freq[x]
+        print(f"{x:>8} {f:>6} {f / f1:>7.3f} "
+              f"{l1_wins[x] / SAMPLERS:>8.3f} "
+              f"{f * f / f2:>7.3f} {l2_wins[x] / SAMPLERS:>8.3f}")
+
+    heaviest = top[0]
+    print(f"\nThe heaviest flow holds {freq[heaviest] / f1:.1%} of the "
+          f"volume but {freq[heaviest] ** 2 / f2:.1%} of F2 -- the L2 "
+          "sampler picks it accordingly,\nwhich is exactly the bias a "
+          "variance-weighted exporter wants.")
+
+
+if __name__ == "__main__":
+    main()

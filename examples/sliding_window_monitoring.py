@@ -1,0 +1,59 @@
+"""Sliding-window monitoring: recent-traffic heavy hitters.
+
+A long-lived monitor usually cares about *recent* traffic, not the
+stream since boot -- and a long-lived SALSA sketch would also
+accumulate stale wide counters.  :class:`repro.core.WindowedSketch`
+solves both with epoch rotation: two resident sketches, queries cover
+the last 1-2 epochs, retired epochs free their merges.
+
+This example simulates a traffic shift (flow A dominates, then flow B
+takes over) and shows the windowed sketch forgetting A while an
+unwindowed sketch keeps reporting it forever.
+
+Run:  python examples/sliding_window_monitoring.py
+"""
+
+from repro import SalsaCountMin, zipf_trace
+from repro.core import WindowedSketch
+
+EPOCH = 30_000
+
+
+def fresh():
+    return SalsaCountMin.for_memory(8 * 1024, d=4, s=8, seed=5)
+
+
+def main() -> None:
+    windowed = WindowedSketch(fresh, epoch=EPOCH)
+    unwindowed = fresh()
+
+    flow_a, flow_b = 10_000_001, 10_000_002
+
+    def feed(phase: str, hot: int, background_seed: int) -> None:
+        """One phase: `hot` takes ~20% of the traffic."""
+        noise = iter(zipf_trace(EPOCH, 1.0, universe=50_000,
+                                seed=background_seed))
+        for i in range(EPOCH):
+            item = hot if i % 5 == 0 else next(noise)
+            windowed.update(item)
+            unwindowed.update(item)
+        print(f"{phase}: window now spans {windowed.window_span} updates, "
+              f"{windowed.rotations} rotations")
+        print(f"  flow A: windowed={windowed.query(flow_a):>6.0f}   "
+              f"all-time={unwindowed.query(flow_a):>6.0f}")
+        print(f"  flow B: windowed={windowed.query(flow_b):>6.0f}   "
+              f"all-time={unwindowed.query(flow_b):>6.0f}")
+
+    feed("phase 1 (A hot)", flow_a, background_seed=1)
+    feed("phase 2 (A hot)", flow_a, background_seed=2)
+    feed("phase 3 (B hot)", flow_b, background_seed=3)
+    feed("phase 4 (B hot)", flow_b, background_seed=4)
+
+    print("\nAfter the shift, the windowed sketch reports flow A near 0 "
+          "while the\nall-time sketch still carries its full history -- "
+          "and the windowed memory\nstays bounded at two sketches "
+          f"({windowed.memory_bytes:,} bytes).")
+
+
+if __name__ == "__main__":
+    main()

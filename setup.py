@@ -1,0 +1,5 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so editable installs must go through the pre-PEP-517 path."""
+from setuptools import setup
+
+setup()

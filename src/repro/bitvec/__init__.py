@@ -1,0 +1,22 @@
+"""Bit-packed storage substrate.
+
+SALSA's whole premise is that counters live in a flat, byte-addressable
+buffer and change width in place.  This subpackage provides the two
+primitives that the rest of the library builds on:
+
+* :class:`BitArray` -- a fixed-size vector of bits over a ``bytearray``
+  with arbitrary-offset, arbitrary-width reads and writes (little-endian
+  within the field).
+* :class:`Bitmap` -- a single-bit-per-slot map used for SALSA/Tango merge
+  bits.
+
+Both are pure Python but keep the hot paths (byte-aligned and
+within-a-byte accesses) special-cased, matching the paper's observation
+that SALSA's layout "respects byte boundaries making them readily
+implementable in software".
+"""
+
+from repro.bitvec.bitarray import BitArray
+from repro.bitvec.bitmap import Bitmap
+
+__all__ = ["BitArray", "Bitmap"]

@@ -1,0 +1,130 @@
+"""A flat vector of bits with arbitrary-width field access.
+
+The SALSA counter array stores ``w`` counters of ``s`` bits each in
+``w * s / 8`` bytes.  Counters grow by merging, so a "field" read or
+write may span 1 bit up to 64+ bits at any offset that is a multiple of
+the field's own width (SALSA) or of ``s`` (Tango).  :class:`BitArray`
+supports fully general offsets so both layouts share one storage class.
+
+Fields are little-endian: the field starting at bit ``off`` with width
+``n`` occupies bits ``off .. off+n-1``, and bit ``off`` is the least
+significant bit of the value.  Within the backing ``bytearray``, bit
+``k`` is bit ``k % 8`` of byte ``k // 8``.  This matches how a C
+implementation over a ``uint8_t*`` on a little-endian machine behaves,
+which is the setting the paper targets.
+"""
+
+from __future__ import annotations
+
+
+class BitArray:
+    """A fixed-size array of bits supporting multi-bit field access.
+
+    Parameters
+    ----------
+    nbits:
+        Total capacity in bits.  Rounded up to a whole byte internally;
+        bits past ``nbits`` must not be touched.
+
+    Examples
+    --------
+    >>> b = BitArray(32)
+    >>> b.write(8, 16, 0xBEEF)
+    >>> hex(b.read(8, 16))
+    '0xbeef'
+    >>> b.read(16, 8)  # the high byte of the 16-bit field
+    190
+    """
+
+    __slots__ = ("_data", "nbits")
+
+    def __init__(self, nbits: int):
+        if nbits < 0:
+            raise ValueError(f"nbits must be non-negative, got {nbits}")
+        self.nbits = nbits
+        self._data = bytearray((nbits + 7) // 8)
+
+    # ------------------------------------------------------------------
+    # field access
+    # ------------------------------------------------------------------
+    def read(self, off: int, width: int) -> int:
+        """Return the unsigned value of the ``width``-bit field at ``off``."""
+        data = self._data
+        if off & 7 == 0 and width & 7 == 0:
+            # Byte-aligned fast path: whole bytes, little-endian.
+            start = off >> 3
+            return int.from_bytes(data[start:start + (width >> 3)], "little")
+        if (off >> 3) == ((off + width - 1) >> 3):
+            # Field contained in a single byte.
+            return (data[off >> 3] >> (off & 7)) & ((1 << width) - 1)
+        return self._read_slow(off, width)
+
+    def write(self, off: int, width: int, value: int) -> None:
+        """Store ``value`` into the ``width``-bit field at ``off``.
+
+        ``value`` must fit in ``width`` bits; a ``ValueError`` is raised
+        otherwise so that counter-overflow bugs fail loudly instead of
+        silently corrupting neighbouring counters.
+        """
+        if value < 0 or value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        data = self._data
+        if off & 7 == 0 and width & 7 == 0:
+            start = off >> 3
+            data[start:start + (width >> 3)] = value.to_bytes(width >> 3, "little")
+            return
+        if (off >> 3) == ((off + width - 1) >> 3):
+            byte_idx = off >> 3
+            shift = off & 7
+            mask = ((1 << width) - 1) << shift
+            data[byte_idx] = (data[byte_idx] & ~mask) | (value << shift)
+            return
+        self._write_slow(off, width, value)
+
+    def _read_slow(self, off: int, width: int) -> int:
+        """General path: field straddles bytes at an unaligned offset."""
+        first = off >> 3
+        last = (off + width - 1) >> 3
+        chunk = int.from_bytes(self._data[first:last + 1], "little")
+        return (chunk >> (off & 7)) & ((1 << width) - 1)
+
+    def _write_slow(self, off: int, width: int, value: int) -> None:
+        first = off >> 3
+        last = (off + width - 1) >> 3
+        nbytes = last + 1 - first
+        chunk = int.from_bytes(self._data[first:last + 1], "little")
+        shift = off & 7
+        mask = ((1 << width) - 1) << shift
+        chunk = (chunk & ~mask) | (value << shift)
+        self._data[first:last + 1] = chunk.to_bytes(nbytes, "little")
+
+    # ------------------------------------------------------------------
+    # introspection / bulk
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing buffer in bytes."""
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Zero every bit."""
+        for i in range(len(self._data)):
+            self._data[i] = 0
+
+    def copy(self) -> "BitArray":
+        """Return an independent deep copy."""
+        out = BitArray(self.nbits)
+        out._data[:] = self._data
+        return out
+
+    def tobytes(self) -> bytes:
+        """Return the raw backing bytes (little-endian bit order)."""
+        return bytes(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        return self.nbits == other.nbits and self._data == other._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BitArray(nbits={self.nbits})"

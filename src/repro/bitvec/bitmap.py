@@ -1,0 +1,75 @@
+"""One-bit-per-slot bitmap used for SALSA and Tango merge bits.
+
+A separate class (rather than reusing :class:`~repro.bitvec.BitArray`)
+keeps the single-bit operations as cheap as possible: merge-bit tests
+sit on the read path of *every* SALSA counter access.
+"""
+
+from __future__ import annotations
+
+
+class Bitmap:
+    """A fixed-size map of single bits.
+
+    Examples
+    --------
+    >>> m = Bitmap(16)
+    >>> m.set(6)
+    >>> m.get(6), m.get(7)
+    (True, False)
+    >>> m.popcount()
+    1
+    """
+
+    __slots__ = ("_data", "nbits")
+
+    def __init__(self, nbits: int):
+        if nbits < 0:
+            raise ValueError(f"nbits must be non-negative, got {nbits}")
+        self.nbits = nbits
+        self._data = bytearray((nbits + 7) // 8)
+
+    def get(self, i: int) -> bool:
+        """Return bit ``i``."""
+        return bool(self._data[i >> 3] & (1 << (i & 7)))
+
+    def set(self, i: int) -> None:
+        """Set bit ``i`` to 1."""
+        self._data[i >> 3] |= 1 << (i & 7)
+
+    def clear_bit(self, i: int) -> None:
+        """Set bit ``i`` to 0."""
+        self._data[i >> 3] &= ~(1 << (i & 7)) & 0xFF
+
+    def popcount(self) -> int:
+        """Number of set bits."""
+        return sum(byte.bit_count() for byte in self._data)
+
+    def clear(self) -> None:
+        """Zero every bit."""
+        for i in range(len(self._data)):
+            self._data[i] = 0
+
+    def copy(self) -> "Bitmap":
+        """Return an independent deep copy."""
+        out = Bitmap(self.nbits)
+        out._data[:] = self._data
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing buffer in bytes."""
+        return len(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self.nbits == other.nbits and self._data == other._data
+
+    def __iter__(self):
+        """Iterate over all bits as booleans."""
+        for i in range(self.nbits):
+            yield self.get(i)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Bitmap(nbits={self.nbits}, set={self.popcount()})"

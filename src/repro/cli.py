@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library's main workflows a shell entry point:
+
+* ``generate`` -- synthesize a trace (Zipf or a dataset substitute) and
+  save it as ``.npz`` (exact) or ``.flows`` (packet-record format);
+* ``profile``  -- print a trace file's workload profile;
+* ``run``      -- stream a trace through a chosen sketch and report
+  on-arrival error metrics plus memory actually used;
+* ``topk``     -- report the top-k flows of a trace via a sketch+heap;
+* ``figure``   -- regenerate paper figures (thin alias for
+  ``python -m repro.experiments``).
+
+Every command is importable (:func:`main` takes ``argv``) so the test
+suite drives it in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    SalsaConservativeUpdate,
+    SalsaCountMin,
+    SalsaCountSketch,
+)
+from repro.metrics import OnArrivalCollector
+from repro.sketches import (
+    ConservativeUpdateSketch,
+    CountMinSketch,
+    CountSketch,
+)
+from repro.streams import (
+    DATASET_NAMES,
+    dataset,
+    describe,
+    load_flows_as_trace,
+    load_trace,
+    save_trace,
+    write_flows,
+    zipf_trace,
+)
+from repro.tasks.heavy_hitters import HeavyHitterTracker
+
+#: name -> memory-budgeted sketch factory.
+SKETCHES = {
+    "cms": lambda mem, seed: CountMinSketch.for_memory(mem, d=4, seed=seed),
+    "cus": lambda mem, seed: ConservativeUpdateSketch.for_memory(
+        mem, d=4, seed=seed),
+    "cs": lambda mem, seed: CountSketch.for_memory(mem, d=5, seed=seed),
+    "salsa-cms": lambda mem, seed: SalsaCountMin.for_memory(
+        mem, d=4, s=8, seed=seed),
+    "salsa-cus": lambda mem, seed: SalsaConservativeUpdate.for_memory(
+        mem, d=4, s=8, seed=seed),
+    "salsa-cs": lambda mem, seed: SalsaCountSketch.for_memory(
+        mem, d=5, s=8, seed=seed),
+}
+
+
+def _load(path: str):
+    """Load a trace from ``.npz`` or ``.flows`` by extension."""
+    if path.endswith(".flows"):
+        return load_flows_as_trace(path)
+    return load_trace(path)
+
+
+def _parse_memory(text: str) -> int:
+    """``64K``/``2M``/plain-bytes memory sizes."""
+    text = text.strip().upper()
+    factor = 1
+    if text.endswith("K"):
+        factor, text = 1024, text[:-1]
+    elif text.endswith("M"):
+        factor, text = 1024 * 1024, text[:-1]
+    return int(float(text) * factor)
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_generate(args) -> int:
+    if args.kind == "zipf":
+        trace = zipf_trace(args.length, args.skew, universe=args.universe,
+                           seed=args.seed)
+    else:
+        trace = dataset(args.kind, args.length, seed=args.seed)
+    if args.out.endswith(".flows"):
+        path = write_flows(trace, args.out)
+    else:
+        path = save_trace(trace, args.out)
+    print(f"wrote {len(trace):,} updates to {path}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    print(describe(_load(args.trace)))
+    return 0
+
+
+def cmd_run(args) -> int:
+    trace = _load(args.trace)
+    memory = _parse_memory(args.memory)
+    sketch = SKETCHES[args.sketch](memory, args.seed)
+    collector = OnArrivalCollector()
+    for x in trace:
+        collector.observe(x, sketch.query(x))
+        sketch.update(x)
+    print(f"sketch:   {args.sketch} ({memory:,}B requested, "
+          f"{sketch.memory_bytes:,}B used)")
+    print(f"stream:   {trace.name} ({len(trace):,} updates)")
+    print(f"NRMSE:    {collector.nrmse():.3e}")
+    print(f"RMSE:     {collector.rmse():.4f}")
+    print(f"mean |e|: {collector.mean_absolute():.4f}")
+    return 0
+
+
+def cmd_topk(args) -> int:
+    trace = _load(args.trace)
+    memory = _parse_memory(args.memory)
+    sketch = SKETCHES[args.sketch](memory, args.seed)
+    tracker = HeavyHitterTracker(2 * args.k)
+    truth: dict[int, int] = {}
+    for x in trace:
+        sketch.update(x)
+        tracker.offer(x, sketch.query(x))
+        truth[x] = truth.get(x, 0) + 1
+    print(f"top-{args.k} by {args.sketch} ({memory:,}B):")
+    print(f"{'rank':>4} {'item':>20} {'estimate':>10} {'true':>10}")
+    for rank, item in enumerate(tracker.top(args.k), 1):
+        print(f"{rank:>4} {item:>20} {tracker.estimate(item):>10.0f} "
+              f"{truth.get(item, 0):>10}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.figures)
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SALSA (ICDE 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize and save a trace")
+    gen.add_argument("kind", choices=("zipf",) + DATASET_NAMES)
+    gen.add_argument("out", help="output path (.npz or .flows)")
+    gen.add_argument("--length", type=int, default=100_000)
+    gen.add_argument("--skew", type=float, default=1.0,
+                     help="Zipf skew (zipf only)")
+    gen.add_argument("--universe", type=int, default=1 << 20)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=cmd_generate)
+
+    prof = sub.add_parser("profile", help="print a trace's profile")
+    prof.add_argument("trace", help=".npz or .flows file")
+    prof.set_defaults(func=cmd_profile)
+
+    run = sub.add_parser("run", help="on-arrival error of a sketch")
+    run.add_argument("trace", help=".npz or .flows file")
+    run.add_argument("--sketch", choices=sorted(SKETCHES),
+                     default="salsa-cms")
+    run.add_argument("--memory", default="64K",
+                     help="budget, e.g. 8K / 2M / 4096")
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=cmd_run)
+
+    topk = sub.add_parser("topk", help="report the heaviest flows")
+    topk.add_argument("trace", help=".npz or .flows file")
+    topk.add_argument("-k", type=int, default=10)
+    topk.add_argument("--sketch", choices=sorted(SKETCHES),
+                      default="salsa-cus")
+    topk.add_argument("--memory", default="64K")
+    topk.add_argument("--seed", type=int, default=0)
+    topk.set_defaults(func=cmd_topk)
+
+    fig = sub.add_parser("figure", help="regenerate paper figures")
+    fig.add_argument("figures", nargs="*",
+                     help="figure ids (or --list via repro.experiments)")
+    fig.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Distributed sketching: partition, sketch locally, merge centrally.
+
+Section V motivates sketch merging with "we can parallelize the
+sketching of A and B and then merge them" -- the standard scale-out
+deployment where each worker (core, NIC queue, collection point)
+sketches its shard and a coordinator combines the results.  This module
+packages that pattern:
+
+* :func:`shard` -- split a trace into per-worker shards (hash or
+  round-robin partitioning);
+* :class:`DistributedSketch` -- builds one local sketch per worker
+  over a shared :class:`~repro.hashing.HashFamily`, feeds shards, and
+  merges into a single global sketch via :func:`repro.core.ops.merge`
+  (with :func:`repro.core.serialize.dumps` providing the wire format).
+
+The correctness fact the tests pin down: *merging the shard sketches
+equals sketching the whole stream* (exactly, counter-for-counter,
+under sum-merge -- see the order-invariance tests for why).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core import ops
+from repro.core.serialize import dumps, loads
+from repro.hashing import HashFamily, mix64
+from repro.streams.model import Trace
+
+HASH = "hash"
+ROUND_ROBIN = "round_robin"
+
+
+def shard(trace: Trace, workers: int, policy: str = HASH,
+          seed: int = 0) -> list[Trace]:
+    """Split a trace into ``workers`` shards.
+
+    ``hash`` partitioning keys on the item (each flow's packets land on
+    one worker -- the NIC-RSS model); ``round_robin`` spreads arrivals
+    evenly regardless of identity (the load-balancer model).  Either
+    way the shards' multisets union to the input.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if policy == HASH:
+        keys = np.array([mix64(int(x) ^ mix64(seed)) % workers
+                         for x in trace.items.tolist()])
+    elif policy == ROUND_ROBIN:
+        keys = np.arange(len(trace)) % workers
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    return [
+        Trace(trace.items[keys == worker],
+              name=f"{trace.name}/shard{worker}")
+        for worker in range(workers)
+    ]
+
+
+class DistributedSketch:
+    """One sketch per worker plus a merge step.
+
+    Parameters
+    ----------
+    factory:
+        Callable ``(hash_family) -> sketch`` building one local sketch.
+        All workers share the family (required for merging).
+    workers:
+        Number of local sketches.
+    d:
+        Rows in the shared hash family.
+    seed:
+        Seed of the shared family.
+
+    Examples
+    --------
+    >>> from repro.core import SalsaCountMin
+    >>> dist = DistributedSketch(
+    ...     lambda fam: SalsaCountMin(w=256, d=4, merge="sum",
+    ...                               hash_family=fam),
+    ...     workers=3, d=4, seed=1)
+    >>> dist.update(0, 42)        # worker 0 sees item 42
+    >>> dist.update(2, 42)        # so does worker 2
+    >>> dist.combined().query(42) >= 2
+    True
+    """
+
+    def __init__(self, factory: Callable[[HashFamily], object],
+                 workers: int, d: int = 4, seed: int = 0):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.family = HashFamily(d, seed)
+        self.factory = factory
+        self.locals = [factory(self.family) for _ in range(workers)]
+
+    @property
+    def workers(self) -> int:
+        return len(self.locals)
+
+    def update(self, worker: int, item: int, value: int = 1) -> None:
+        """Route one update to a worker's local sketch."""
+        self.locals[worker].update(item, value)
+
+    def feed(self, shards: list[Trace]) -> None:
+        """Feed one shard per worker (lengths must match)."""
+        if len(shards) != len(self.locals):
+            raise ValueError(
+                f"{len(shards)} shards for {len(self.locals)} workers")
+        for sketch, piece in zip(self.locals, shards):
+            for x in piece:
+                sketch.update(x)
+
+    def combined(self):
+        """Merge all local sketches into a fresh global sketch.
+
+        Locals are serialized and deserialized first -- the coordinator
+        only ever sees the wire format, exactly as a real deployment
+        would -- then folded with :func:`repro.core.ops.merge`.
+        """
+        total = loads(dumps(self.locals[0]))
+        for local in self.locals[1:]:
+            ops.merge(total, loads(dumps(local)))
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DistributedSketch(workers={self.workers})"

@@ -1,0 +1,136 @@
+"""The SALSA merge-bit layout (section IV of the paper).
+
+Counters occupy power-of-two-aligned blocks of ``2^l`` base slots; a
+merged block of ``2^L`` slots is encoded by setting the merge bit at
+position ``block_start + 2^(L-1) - 1`` *for every level* ``1..L`` along
+the block's subdivision tree -- equivalently, a fully merged block
+``[B, B + 2^L)`` has all ``2^L - 1`` bits ``B .. B + 2^L - 2`` set.
+
+This reproduces the paper's worked example (Fig 1): merging ``<6,7>``
+sets m6 (i=3, l=1), merging ``<4..7>`` sets m5 (i=1, l=2), merging
+``<0..7>`` sets m3 (i=0, l=3).
+
+Determining the width of the counter containing slot ``j`` costs at
+most ``max_level`` bit probes: the level-``L`` membership bit of ``j``
+lives at ``(j >> L << L) + 2^(L-1) - 1``.
+"""
+
+from __future__ import annotations
+
+from repro.bitvec import Bitmap
+
+
+class MergeBitLayout:
+    """One merge bit per base counter (the paper's "simple encoding").
+
+    Parameters
+    ----------
+    w:
+        Number of base (s-bit) slots; a power of two.
+    max_level:
+        Largest allowed merge level; a counter may span at most
+        ``2^max_level`` slots (e.g. 3 for s=8 growing to 64 bits).
+
+    Examples
+    --------
+    >>> lay = MergeBitLayout(16, max_level=3)
+    >>> lay.merge_up(6, 0)   # counter 6 overflows: <6,7>
+    (1, 6)
+    >>> lay.merge_up(6, 1)   # <6,7> overflows: <4..7>
+    (2, 4)
+    >>> [lay.level_of(j) for j in (3, 4, 5, 6, 7, 8)]
+    [0, 2, 2, 2, 2, 0]
+    """
+
+    #: Space cost the figures charge per counter for this encoding.
+    overhead_bits_per_counter = 1.0
+
+    def __init__(self, w: int, max_level: int):
+        if w < 1 or w & (w - 1):
+            raise ValueError(f"w must be a positive power of two, got {w}")
+        if max_level < 0 or (1 << max_level) > w:
+            raise ValueError(
+                f"max_level {max_level} out of range for w={w}"
+            )
+        self.w = w
+        self.max_level = max_level
+        self.bits = Bitmap(w)
+
+    # ------------------------------------------------------------------
+    def level_of(self, j: int) -> int:
+        """Merge level of the counter containing base slot ``j``."""
+        bits = self.bits
+        level = 0
+        while level < self.max_level:
+            up = level + 1
+            probe = ((j >> up) << up) + (1 << level) - 1
+            if not bits.get(probe):
+                break
+            level = up
+        return level
+
+    def block_start(self, j: int, level: int) -> int:
+        """Start slot of the level-``level`` block containing ``j``."""
+        return (j >> level) << level
+
+    def locate(self, j: int) -> tuple[int, int]:
+        """(level, block_start) of the counter containing slot ``j``."""
+        level = self.level_of(j)
+        return level, (j >> level) << level
+
+    # ------------------------------------------------------------------
+    def merge_up(self, start: int, level: int) -> tuple[int, int]:
+        """Merge the counter at (``start``, ``level``) with its sibling.
+
+        Marks the enclosing ``2^(level+1)`` block fully merged and
+        returns the new ``(level, start)``.  The caller combines the
+        constituent values and rewrites the block.
+        """
+        if level >= self.max_level:
+            raise ValueError(
+                f"counter at level {level} cannot merge past max_level "
+                f"{self.max_level}"
+            )
+        new_level = level + 1
+        new_start = (start >> new_level) << new_level
+        bits = self.bits
+        # A fully merged 2^L block has all its 2^L - 1 interior bits set.
+        for pos in range(new_start, new_start + (1 << new_level) - 1):
+            bits.set(pos)
+        return new_level, new_start
+
+    def split(self, start: int, level: int) -> int:
+        """Undo the top-most merge of the block at (``start``, ``level``).
+
+        Clears the level-``level`` membership bit, leaving two fully
+        merged ``2^(level-1)`` halves.  Returns the new level.  Used by
+        SALSA AEE's counter splitting after downsampling (section V).
+        """
+        if level < 1:
+            raise ValueError("cannot split an unmerged counter")
+        self.bits.clear_bit(start + (1 << (level - 1)) - 1)
+        return level - 1
+
+    # ------------------------------------------------------------------
+    def counters(self):
+        """Yield ``(start, level)`` for every live counter, in order."""
+        j = 0
+        w = self.w
+        while j < w:
+            level = self.level_of(j)
+            yield j, level
+            j += 1 << level
+
+    @property
+    def overhead_bits(self) -> int:
+        """Total encoding overhead in bits (one per base slot)."""
+        return self.w
+
+    def copy(self) -> "MergeBitLayout":
+        """Deep copy (used by sketch copy/merge operations)."""
+        out = MergeBitLayout(self.w, self.max_level)
+        out.bits = self.bits.copy()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MergeBitLayout(w={self.w}, max_level={self.max_level})"

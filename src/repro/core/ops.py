@@ -1,0 +1,65 @@
+"""Merging and subtracting SALSA sketches (section V).
+
+Given sketches s(A) and s(B) built with the *same hash functions*,
+SALSA can compute s(A u B) and s(A \\ B) in place: each counter of the
+result takes a layout at least as coarse as its layout in either input
+("each counter in the merged sketches has a size at least as large as
+its size in s(A) and its size in s(B)"), values combine by sum (or
+difference), and any overflow triggers a further merge -- exactly the
+procedure illustrated in Fig 3.
+
+* SALSA CS (Turnstile) supports both operations in general.
+* SALSA CMS (Strict Turnstile) supports union always and difference
+  only "given a guarantee that B is a subset of A".
+
+Change detection (Fig 15 c/d) is built on :func:`subtract`.
+"""
+
+from __future__ import annotations
+
+
+def _check_compatible(a, b) -> None:
+    if (a.w, a.d, a.s) != (b.w, b.d, b.s):
+        raise ValueError(
+            f"sketch shapes differ: ({a.w},{a.d},{a.s}) vs ({b.w},{b.d},{b.s})"
+        )
+    if not a.hashes.same_functions(b.hashes):
+        raise ValueError("sketches do not share hash functions")
+
+
+def _absorb(a_row, b_row, sign: int) -> None:
+    """Fold one row of ``b`` into the matching row of ``a``.
+
+    First coarsens ``a``'s layout to cover ``b``'s, then adds each of
+    ``b``'s counter values (with ``sign``) into the covering counter;
+    ``SalsaRow.add`` performs any overflow-triggered merges.
+    """
+    for start, level, value in list(b_row.counters()):
+        a_row.ensure_level(start, level)
+        if value:
+            a_row.add(start, sign * value)
+
+
+def merge(a, b) -> None:
+    """In-place union: ``a`` becomes s(A u B).
+
+    Works for any SALSA sketch pair of the same type sharing hashes
+    (CMS, CUS, or CS).  Counter values sum; for max-merge sketches the
+    sums remain valid over-estimates of every element mapped into the
+    merged range.
+    """
+    _check_compatible(a, b)
+    for a_row, b_row in zip(a.rows, b.rows):
+        _absorb(a_row, b_row, sign=+1)
+
+
+def subtract(a, b) -> None:
+    """In-place difference: ``a`` becomes s(A \\ B).
+
+    General for SALSA CS (Turnstile).  For SALSA CMS the caller must
+    guarantee B is a subset of A (Strict Turnstile), as in the paper;
+    unsigned counters clamp at zero otherwise.
+    """
+    _check_compatible(a, b)
+    for a_row, b_row in zip(a.rows, b.rows):
+        _absorb(a_row, b_row, sign=-1)

@@ -1,0 +1,342 @@
+"""A single SALSA row: bit-packed counters that merge on overflow.
+
+This is the engine under every SALSA sketch.  A row owns ``w`` base
+slots of ``s`` bits in a :class:`~repro.bitvec.BitArray` plus a layout
+(:class:`~repro.core.layout.MergeBitLayout` or
+:class:`~repro.core.compact.CompactLayout`).  A counter that can no
+longer represent its value merges with its sibling block -- combining
+values by **sum** (Strict Turnstile-safe; Thm V.1) or **max** (Cash
+Register; Thms V.2/V.3) -- doubling its width, up to ``max_bits``.
+
+Count Sketch rows use **sign-magnitude** fields (the paper's §V "Count
+Sketch" change): the top bit of the field is the sign, so overflow is
+symmetric in sign, which is what makes SALSA CS unbiased (Lemma V.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bitvec import BitArray
+from repro.core.compact import CompactLayout
+from repro.core.layout import MergeBitLayout
+
+#: Merge policies.
+SUM = "sum"
+MAX = "max"
+
+#: Layout encodings.
+SIMPLE = "simple"
+COMPACT = "compact"
+
+
+class SalsaRow:
+    """One row of self-adjusting counters.
+
+    Parameters
+    ----------
+    w:
+        Number of base slots (power of two).
+    s:
+        Base counter width in bits (paper default 8).
+    max_bits:
+        Widest counter allowed; merging stops there and the counter
+        saturates (the paper lets counters grow to 64 bits).
+    merge:
+        ``"sum"`` or ``"max"``.
+    signed:
+        Sign-magnitude fields for Count Sketch rows.  Forces sum
+        merging ("max-merge may not be correct as counters may have
+        opposite signs").
+    encoding:
+        ``"simple"`` (1 bit/counter) or ``"compact"`` (~0.594).
+
+    Examples
+    --------
+    >>> row = SalsaRow(w=8, s=8)
+    >>> row.add(6, 255)     # fills counter 6
+    255
+    >>> row.add(6, 1)       # overflows: merges <6,7>
+    256
+    >>> row.level_of(7)     # 7 now belongs to the 16-bit counter
+    1
+    """
+
+    def __init__(self, w: int, s: int = 8, max_bits: int = 64,
+                 merge: str = MAX, signed: bool = False,
+                 encoding: str = SIMPLE):
+        if w < 2 or w & (w - 1):
+            raise ValueError(f"w must be a power of two >= 2, got {w}")
+        if s < 2 or s & (s - 1) or s > 64:
+            raise ValueError(f"s must be a power of two in [2, 64], got {s}")
+        if max_bits < s:
+            raise ValueError(f"max_bits {max_bits} smaller than s {s}")
+        if merge not in (SUM, MAX):
+            raise ValueError(f"merge must be 'sum' or 'max', got {merge!r}")
+        if signed and merge != SUM:
+            raise ValueError("signed (Count Sketch) rows must sum-merge")
+        max_level = 0
+        while s << (max_level + 1) <= max_bits and (1 << (max_level + 1)) <= w:
+            max_level += 1
+        self.w = w
+        self.s = s
+        self.max_bits = s << max_level
+        self.max_level = max_level
+        self.merge = merge
+        self.signed = signed
+        self.encoding = encoding
+        self.store = BitArray(w * s)
+        if encoding == SIMPLE:
+            self.layout = MergeBitLayout(w, max_level)
+        elif encoding == COMPACT:
+            self.layout = CompactLayout(w, max_level)
+        else:
+            raise ValueError(f"unknown encoding {encoding!r}")
+        #: Counts of overflow->merge events (exposed for experiments).
+        self.merge_events = 0
+        #: Counts of saturations at max_bits (should stay 0 in practice).
+        self.saturations = 0
+
+    # ------------------------------------------------------------------
+    # field codec
+    # ------------------------------------------------------------------
+    def _decode(self, raw: int, width: int) -> int:
+        """Raw field bits -> value (sign-magnitude when signed)."""
+        if not self.signed:
+            return raw
+        magnitude = raw & ((1 << (width - 1)) - 1)
+        return -magnitude if raw >> (width - 1) else magnitude
+
+    def _encode(self, value: int, width: int) -> int:
+        """Value -> raw field bits."""
+        if not self.signed:
+            return value
+        if value < 0:
+            return (1 << (width - 1)) | -value
+        return value
+
+    def _fits(self, value: int, width: int) -> bool:
+        """Can ``value`` be represented in a ``width``-bit field?"""
+        if self.signed:
+            # Sign-magnitude: overflow past |2^(w-1) - 1|, symmetric.
+            return abs(value) <= (1 << (width - 1)) - 1
+        return 0 <= value < (1 << width)
+
+    def _clamp(self, value: int, width: int) -> int:
+        """Saturate ``value`` into a ``width``-bit field."""
+        if self.signed:
+            bound = (1 << (width - 1)) - 1
+            return max(-bound, min(bound, value))
+        return max(0, min((1 << width) - 1, value))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self, j: int) -> int:
+        """Value of the counter containing base slot ``j``."""
+        level, start = self.layout.locate(j)
+        width = self.s << level
+        return self._decode(self.store.read(start * self.s, width), width)
+
+    def level_of(self, j: int) -> int:
+        """Merge level of the counter containing slot ``j``."""
+        return self.layout.level_of(j)
+
+    def read_block(self, start: int, level: int) -> int:
+        """Value of the (known-located) counter at (start, level)."""
+        width = self.s << level
+        return self._decode(self.store.read(start * self.s, width), width)
+
+    def _write_block(self, start: int, level: int, value: int) -> None:
+        width = self.s << level
+        self.store.write(start * self.s, width, self._encode(value, width))
+
+    def _block_values(self, start: int, level: int) -> list[int]:
+        """Values of all live counters inside ``[start, start + 2^level)``."""
+        values = []
+        j = start
+        end = start + (1 << level)
+        while j < end:
+            lvl, st = self.layout.locate(j)
+            values.append(self.read_block(st, lvl))
+            j = st + (1 << lvl)
+        return values
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def _grow(self, start: int, level: int, value: int) -> tuple[int, int, int]:
+        """Merge (start, level) upward once; return (start, level, value).
+
+        ``value`` is the *pending* value of the current counter (it has
+        not been written yet); the sibling half's live counters are
+        combined into it per the merge policy.
+        """
+        new_level = level + 1
+        new_start = (start >> new_level) << new_level
+        sibling = new_start if start != new_start else new_start + (1 << level)
+        others = self._block_values(sibling, level)
+        if self.merge == SUM:
+            value = value + sum(others)
+        else:
+            value = max(value, *others)
+        self.layout.merge_up(start, level)
+        self.merge_events += 1
+        return new_start, new_level, value
+
+    def add(self, j: int, v: int) -> int:
+        """Add ``v`` to the counter containing slot ``j``.
+
+        Merges as many times as needed for the result to fit; saturates
+        at ``max_bits``.  Returns the counter's new value.
+        """
+        level, start = self.layout.locate(j)
+        value = self.read_block(start, level) + v
+        if not self.signed and value < 0:
+            # Strict Turnstile counters never go negative; clamp so a
+            # (mis-ordered) deletion cannot trigger runaway merging.
+            value = 0
+        while not self._fits(value, self.s << level):
+            if level >= self.max_level:
+                value = self._clamp(value, self.s << level)
+                self.saturations += 1
+                break
+            start, level, value = self._grow(start, level, value)
+        self._write_block(start, level, value)
+        return value
+
+    def set_at_least(self, j: int, target: int) -> int:
+        """Raise the counter containing ``j`` to at least ``target``.
+
+        The conservative-update primitive (SALSA CUS, Thm V.3).  Only
+        meaningful for max-merge rows: after any merges the counter is
+        ``max(constituents, target)``.  Returns the new value.
+        """
+        if self.merge != MAX:
+            raise ValueError("set_at_least requires a max-merge row")
+        level, start = self.layout.locate(j)
+        value = self.read_block(start, level)
+        if value >= target:
+            return value
+        value = target
+        while not self._fits(value, self.s << level):
+            if level >= self.max_level:
+                value = self._clamp(value, self.s << level)
+                self.saturations += 1
+                break
+            start, level, value = self._grow(start, level, value)
+        self._write_block(start, level, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # bulk operations (sketch algebra, AEE, Linear Counting)
+    # ------------------------------------------------------------------
+    def counters(self):
+        """Yield ``(start, level, value)`` for every live counter."""
+        for start, level in self.layout.counters():
+            yield start, level, self.read_block(start, level)
+
+    def ensure_level(self, j: int, target_level: int) -> tuple[int, int]:
+        """Merge until the counter containing ``j`` spans >= target_level.
+
+        Used when merging two SALSA sketches: the result's layout must
+        cover both inputs' layouts.  Returns (level, start).
+        """
+        level, start = self.layout.locate(j)
+        while level < target_level:
+            value = self.read_block(start, level)
+            start, level, value = self._grow(start, level, value)
+            value = self._clamp(value, self.s << level)
+            self._write_block(start, level, value)
+        return level, start
+
+    def scale_down_half(self, rng=None) -> None:
+        """Halve every counter (AEE downsampling).
+
+        Probabilistic ``Binomial(c, 1/2)`` when ``rng`` is given (the
+        AEE "probabilistic downsampling"), else ``floor(c/2)``.
+        """
+        for start, level, value in list(self.counters()):
+            if value == 0:
+                continue
+            if rng is None:
+                new = value // 2 if value >= 0 else -((-value) // 2)
+            else:
+                # Binomial(|value|, 1/2) via bit sampling for small
+                # values, normal approximation for large ones.
+                mag = abs(value)
+                if mag <= 64:
+                    half = sum(1 for _ in range(mag) if rng.random() < 0.5)
+                else:
+                    half = int(rng.gauss(mag / 2, math.sqrt(mag) / 2) + 0.5)
+                    half = min(mag, max(0, half))
+                new = half if value > 0 else -half
+            self._write_block(start, level, new)
+
+    def try_split(self, start: int, level: int) -> bool:
+        """Split a merged counter into two halves holding its value.
+
+        Valid only for max-merge rows (section V: "this only works for
+        max-merging"): both halves inherit the upper bound.  Returns
+        True if the split happened.
+        """
+        if self.merge != MAX:
+            raise ValueError("splitting requires a max-merge row")
+        if level < 1:
+            return False
+        value = self.read_block(start, level)
+        if not self._fits(value, self.s << (level - 1)):
+            return False
+        new_level = self.layout.split(start, level)
+        half = 1 << new_level
+        self._write_block(start, new_level, value)
+        self._write_block(start + half, new_level, value)
+        return True
+
+    def zero_base_slots_unmerged(self) -> tuple[int, int]:
+        """(zero-valued level-0 counters, total unmerged level-0 counters).
+
+        The inputs to SALSA's Linear Counting heuristic (section V).
+        """
+        zeros = 0
+        unmerged = 0
+        for start, level, value in self.counters():
+            if level == 0:
+                unmerged += 1
+                if value == 0:
+                    zeros += 1
+        return zeros, unmerged
+
+    def merged_subcounter_slack(self) -> float:
+        """Sum over merged counters of (2^level - 1).
+
+        Each merged counter has at least one non-zero sub-counter; the
+        heuristic optimistically assumes a fraction f of the remaining
+        ``2^level - 1`` are zero.
+        """
+        slack = 0
+        for _start, level in self.layout.counters():
+            if level > 0:
+                slack += (1 << level) - 1
+        return slack
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bits(self) -> int:
+        """Counter payload plus encoding overhead, in bits."""
+        return self.w * self.s + self.layout.overhead_bits
+
+    def copy(self) -> "SalsaRow":
+        """Deep copy."""
+        out = SalsaRow(w=self.w, s=self.s, max_bits=self.max_bits,
+                       merge=self.merge, signed=self.signed,
+                       encoding=self.encoding)
+        out.store = self.store.copy()
+        out.layout = self.layout.copy()
+        out.merge_events = self.merge_events
+        out.saturations = self.saturations
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SalsaRow(w={self.w}, s={self.s}, max_bits={self.max_bits}, "
+                f"merge={self.merge!r}, signed={self.signed})")

@@ -1,0 +1,194 @@
+"""SALSA + Additive Error Estimators (section V, Figs 16-17).
+
+Merging and downsampling increase error through different channels:
+merging adds collision noise from neighbours, downsampling adds
+sampling noise everywhere.  SALSA AEE handles each overflow with
+whichever is theoretically cheaper:
+
+* a *non-largest* counter overflowing always merges (it does not move
+  the sketch's error guarantee);
+* when a counter of the current largest size ``s * 2^l`` overflows,
+  compare the error increases
+  ``delta_est = sqrt(2) * eps_est`` (downsampling, with
+  ``eps_est = sqrt(2 ln(2/delta_est) / (N p))``) against
+  ``delta_cms = delta^(-1/d) * 2^l / w`` (merging, Thm V.1's guarantee),
+  and merge iff ``delta_cms <= delta_est``.
+
+The paper sets ``delta = 4 * delta_est = 0.001``.
+
+Two extras, both evaluated:
+
+* **SALSA AEE_d** (Fig 16): downsample unconditionally on the first
+  ``d`` overflow decisions, driving the sampling rate to ``2^-d`` for
+  MaxSpeed-like throughput.
+* **Counter splitting** (Fig 17): after downsampling, a merged counter
+  whose halved value fits the next-smaller width may split back into
+  two counters holding that value (max-merge only).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.hashing import HashFamily, mix64
+from repro.core.row import MAX, SIMPLE, SalsaRow
+from repro.sketches.base import StreamModel, width_for_memory
+
+
+class SalsaAeeCountMin:
+    """SALSA CMS with interleaved estimator downsampling.
+
+    Parameters
+    ----------
+    w, d, s:
+        SALSA CMS shape (max-merge rows).
+    delta:
+        Overall failure probability; ``delta_est = delta / 4`` per the
+        paper's configuration.
+    downsample_first:
+        The ``d`` of SALSA AEE_d: number of initial overflow decisions
+        that downsample unconditionally (0 = the accuracy variant).
+    split:
+        Enable counter splitting after downsampling.
+    probabilistic:
+        Binomial vs deterministic counter halving.
+    """
+
+    model = StreamModel.CASH_REGISTER
+
+    def __init__(self, w: int, d: int = 4, s: int = 8, max_bits: int = 64,
+                 delta: float = 0.001, downsample_first: int = 0,
+                 split: bool = False, probabilistic: bool = True,
+                 seed: int = 0, hash_family: HashFamily | None = None):
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        self.w = w
+        self.d = d
+        self.s = s
+        self.delta = delta
+        self.delta_est = delta / 4
+        self.split_enabled = split
+        self.probabilistic = probabilistic
+        self._forced_downsamples = downsample_first
+        self.hashes = hash_family if hash_family is not None else HashFamily(d, seed)
+        self.rows = [
+            SalsaRow(w=w, s=s, max_bits=max_bits, merge=MAX, encoding=SIMPLE)
+            for _ in range(d)
+        ]
+        self.p = 1.0
+        self.volume = 0
+        self.top_level = 0
+        self.max_level = self.rows[0].max_level
+        self.downsample_events = 0
+        self._rng = random.Random(seed ^ 0x5A15AEE)
+
+    @classmethod
+    def for_memory(cls, memory_bytes: int, d: int = 4, s: int = 8,
+                   seed: int = 0, **kwargs) -> "SalsaAeeCountMin":
+        """Largest SALSA AEE fitting in ``memory_bytes``."""
+        w = width_for_memory(memory_bytes, d, s, overhead_bits=1.0)
+        return cls(w=w, d=d, s=s, seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------
+    # the overflow policy
+    # ------------------------------------------------------------------
+    def estimator_error(self) -> float:
+        """eps_est = sqrt(2 ln(2/delta_est) / (N p)) (section V)."""
+        if self.volume == 0:
+            return 0.0
+        return math.sqrt(
+            2.0 * math.log(2.0 / self.delta_est) / (self.volume * self.p)
+        )
+
+    def merge_error(self) -> float:
+        """eps_cms = delta^(-1/d) * 2^top_level / w (Thm V.1 guarantee)."""
+        return self.delta ** (-1.0 / self.d) * (1 << self.top_level) / self.w
+
+    def _prefer_merge(self) -> bool:
+        """Merge iff delta_cms <= delta_est (and merging is possible)."""
+        if self.top_level >= self.max_level:
+            return False
+        if self._forced_downsamples > 0:
+            self._forced_downsamples -= 1
+            return False
+        delta_est = math.sqrt(2.0) * self.estimator_error()
+        delta_cms = self.merge_error()
+        return delta_cms <= delta_est
+
+    def _downsample(self) -> None:
+        """Halve p, halve all counters, optionally split shrunk ones."""
+        self.p /= 2.0
+        self.downsample_events += 1
+        rng = self._rng if self.probabilistic else None
+        for row in self.rows:
+            row.scale_down_half(rng)
+        if self.split_enabled:
+            for row in self.rows:
+                # Split repeatedly until no counter can shrink further.
+                changed = True
+                while changed:
+                    changed = False
+                    for start, level in list(row.layout.counters()):
+                        if level > 0 and row.try_split(start, level):
+                            changed = True
+
+    # ------------------------------------------------------------------
+    def update(self, item: int, value: int = 1) -> None:
+        """Process ``value`` unit arrivals of ``item``."""
+        if value < 1:
+            raise ValueError("SALSA AEE is a Cash Register sketch")
+        self.volume += value
+        for _ in range(value):
+            self._update_one(item)
+
+    def _update_one(self, item: int) -> None:
+        # Sampling test first (this is where AEE's speed comes from:
+        # dropped updates never compute a hash).
+        if self.p < 1.0 and self._rng.random() >= self.p:
+            return
+        mask = self.w - 1
+        idxs = [mix64(item ^ seed) & mask for seed in self.hashes.seeds]
+        while True:
+            # Would this increment overflow a largest-size counter?
+            top_overflow = False
+            for row, idx in zip(self.rows, idxs):
+                level, start = row.layout.locate(idx)
+                value = row.read_block(start, level) + 1
+                if row._fits(value, row.s << level):
+                    continue
+                if level >= self.top_level:
+                    top_overflow = True
+                    break
+            if not top_overflow:
+                break
+            if self._prefer_merge():
+                self.top_level += 1
+                break
+            self._downsample()
+            # The arriving update survives the implied re-sampling
+            # with probability 1/2.
+            if self._rng.random() >= 0.5:
+                return
+        for row, idx in zip(self.rows, idxs):
+            row.add(idx, 1)
+
+    def query(self, item: int) -> float:
+        """Minimum over rows, scaled back by the sampling rate."""
+        mask = self.w - 1
+        est = None
+        for row, seed in zip(self.rows, self.hashes.seeds):
+            v = row.read(mix64(item ^ seed) & mask)
+            if est is None or v < est:
+                est = v
+        return est / self.p
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Rows plus encoding overhead (p and N are O(1) scalars)."""
+        return sum((row.memory_bits + 7) // 8 for row in self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SalsaAeeCountMin(w={self.w}, d={self.d}, s={self.s}, "
+                f"p={self.p}, split={self.split_enabled})")

@@ -1,0 +1,90 @@
+"""SALSA Count Sketch (section V).
+
+Counters hold *signed* values, so SALSA CS stores them in
+**sign-magnitude** form (most significant bit = sign): unlike two's
+complement, the overflow event is then symmetric in sign, which is
+exactly what Lemma V.4 needs to prove unbiasedness -- conditioned on a
+merge having happened, the absorbed neighbour's value is symmetric
+around zero and contributes nothing in expectation.  Lemma V.5 further
+shows each row's variance is no larger than the underlying fixed-width
+CS's, so the usual Chebyshev + median analysis carries over.
+
+Merging must be **sum** ("max-merge may not be correct as counters may
+have opposite signs").
+"""
+
+from __future__ import annotations
+
+from repro.hashing import HashFamily, mix64
+from repro.core.row import SIMPLE, SUM, SalsaRow
+from repro.sketches.base import StreamModel, median, width_for_memory
+
+
+class SalsaCountSketch:
+    """SALSA CS (Turnstile, sign-magnitude, sum-merge).
+
+    Examples
+    --------
+    >>> sk = SalsaCountSketch(w=1024, d=5, seed=1)
+    >>> sk.update(42, 500)
+    >>> sk.update(42, -200)
+    >>> sk.query(42)
+    300
+    """
+
+    model = StreamModel.TURNSTILE
+
+    def __init__(self, w: int, d: int = 5, s: int = 8,
+                 encoding: str = SIMPLE, max_bits: int = 64, seed: int = 0,
+                 hash_family: HashFamily | None = None):
+        self.w = w
+        self.d = d
+        self.s = s
+        self.hashes = hash_family if hash_family is not None else HashFamily(d, seed)
+        self.rows = [
+            SalsaRow(w=w, s=s, max_bits=max_bits, merge=SUM, signed=True,
+                     encoding=encoding)
+            for _ in range(d)
+        ]
+
+    @classmethod
+    def for_memory(cls, memory_bytes: int, d: int = 5, s: int = 8,
+                   encoding: str = SIMPLE, seed: int = 0
+                   ) -> "SalsaCountSketch":
+        """Largest SALSA CS fitting in ``memory_bytes``."""
+        overhead = 1.0 if encoding == SIMPLE else 0.594
+        w = width_for_memory(memory_bytes, d, s, overhead_bits=overhead)
+        return cls(w=w, d=d, s=s, encoding=encoding, seed=seed)
+
+    # ------------------------------------------------------------------
+    def update(self, item: int, value: int = 1) -> None:
+        """Add ``g_i(x) * value`` to the item's counter in each row."""
+        mask = self.w - 1
+        for row, seed in zip(self.rows, self.hashes.seeds):
+            h = mix64(item ^ seed)
+            row.add(h & mask, value if h >> 63 else -value)
+
+    def query(self, item: int) -> float:
+        """Median over rows of ``counter * g_i(x)``."""
+        mask = self.w - 1
+        votes = []
+        for row, seed in zip(self.rows, self.hashes.seeds):
+            h = mix64(item ^ seed)
+            c = row.read(h & mask)
+            votes.append(c if h >> 63 else -c)
+        return median(votes)
+
+    def row_estimate(self, item: int, row: int) -> int:
+        """Single-row unbiased estimate (used by SALSA UnivMon)."""
+        h = mix64(item ^ self.hashes.seeds[row])
+        c = self.rows[row].read(h & (self.w - 1))
+        return c if h >> 63 else -c
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Payload plus merge-encoding overhead."""
+        return sum((row.memory_bits + 7) // 8 for row in self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SalsaCountSketch(w={self.w}, d={self.d}, s={self.s})"

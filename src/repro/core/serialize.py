@@ -1,0 +1,134 @@
+"""Serialization of SALSA sketches.
+
+The paper's merge/subtract operations (section V) exist so that
+sketches built on different cores or machines can be combined; that
+requires shipping sketch state around.  This module provides a compact,
+versioned binary codec for the SALSA sketches: header, per-row merge
+bits (or compact-group words), and the raw counter payload.
+
+The format is deliberately simple -- little-endian fixed header plus
+the two buffers each row already maintains -- so a C consumer could
+read it directly.
+
+Examples
+--------
+>>> from repro.core import SalsaCountMin
+>>> from repro.core.serialize import dumps, loads
+>>> sk = SalsaCountMin(w=64, d=2, seed=3)
+>>> sk.update(7, 1000)
+>>> clone = loads(dumps(sk))
+>>> clone.query(7) == sk.query(7)
+True
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.layout import MergeBitLayout
+from repro.core.compact import CompactLayout, encoding_bits
+from repro.core.row import SalsaRow
+from repro.core.salsa_cms import SalsaCountMin
+from repro.core.salsa_cus import SalsaConservativeUpdate
+from repro.core.salsa_cs import SalsaCountSketch
+
+_MAGIC = b"SLSA"
+_VERSION = 1
+
+#: sketch-type tags
+_TYPES = {
+    SalsaCountMin: 1,
+    SalsaConservativeUpdate: 2,
+    SalsaCountSketch: 3,
+}
+_TYPE_CLASSES = {v: k for k, v in _TYPES.items()}
+
+_MERGES = {"sum": 0, "max": 1}
+_MERGE_NAMES = {v: k for k, v in _MERGES.items()}
+
+_ENCODINGS = {"simple": 0, "compact": 1}
+_ENCODING_NAMES = {v: k for k, v in _ENCODINGS.items()}
+
+# header: magic, version, type, w, d, s, max_bits, merge, encoding, seed
+_HEADER = struct.Struct("<4sBBIHHHBBq")
+
+
+def _row_payload(row: SalsaRow) -> bytes:
+    """Layout bytes followed by counter bytes for one row."""
+    if isinstance(row.layout, MergeBitLayout):
+        layout_bytes = bytes(row.layout.bits._data)
+    else:
+        zbits = encoding_bits(row.layout.group_level)
+        zbytes = (zbits + 7) // 8
+        layout_bytes = b"".join(
+            x.to_bytes(zbytes, "little") for x in row.layout._x
+        )
+    return layout_bytes + row.store.tobytes()
+
+
+def _restore_row(row: SalsaRow, payload: bytes) -> int:
+    """Fill one row from ``payload``; return bytes consumed."""
+    if isinstance(row.layout, MergeBitLayout):
+        n_layout = row.layout.bits.nbytes
+        row.layout.bits._data[:] = payload[:n_layout]
+    else:
+        zbits = encoding_bits(row.layout.group_level)
+        zbytes = (zbits + 7) // 8
+        n_layout = zbytes * row.layout.n_groups
+        row.layout._x = [
+            int.from_bytes(payload[i * zbytes:(i + 1) * zbytes], "little")
+            for i in range(row.layout.n_groups)
+        ]
+    n_store = row.store.nbytes
+    row.store._data[:] = payload[n_layout:n_layout + n_store]
+    return n_layout + n_store
+
+
+def dumps(sketch) -> bytes:
+    """Serialize a SALSA CMS / CUS / CS sketch to bytes."""
+    cls = type(sketch)
+    if cls not in _TYPES:
+        raise TypeError(f"cannot serialize {cls.__name__}")
+    row0 = sketch.rows[0]
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, _TYPES[cls], sketch.w, sketch.d, sketch.s,
+        row0.max_bits, _MERGES[row0.merge], _ENCODINGS[row0.encoding],
+        sketch.hashes.seed,
+    )
+    return header + b"".join(_row_payload(row) for row in sketch.rows)
+
+
+def loads(data: bytes):
+    """Reconstruct a sketch serialized by :func:`dumps`.
+
+    The hash family is re-derived from the stored seed, so a round
+    trip preserves hash functions (and therefore merge compatibility).
+    """
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated SALSA sketch blob")
+    (magic, version, type_tag, w, d, s, max_bits,
+     merge_tag, encoding_tag, seed) = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ValueError("not a SALSA sketch blob (bad magic)")
+    if version != _VERSION:
+        raise ValueError(f"unsupported SALSA blob version {version}")
+    cls = _TYPE_CLASSES.get(type_tag)
+    if cls is None:
+        raise ValueError(f"unknown sketch type tag {type_tag}")
+
+    kwargs = dict(w=w, d=d, s=s, max_bits=max_bits, seed=seed,
+                  encoding=_ENCODING_NAMES[encoding_tag])
+    if cls is SalsaCountMin:
+        kwargs["merge"] = _MERGE_NAMES[merge_tag]
+    sketch = cls(**kwargs)
+
+    offset = _HEADER.size
+    for row in sketch.rows:
+        consumed = _restore_row(row, data[offset:])
+        offset += consumed
+    if offset != len(data):
+        raise ValueError(
+            f"trailing bytes in SALSA blob: expected {offset}, "
+            f"got {len(data)}"
+        )
+    return sketch

@@ -1,0 +1,36 @@
+"""Experiment harness: regenerate every table/figure of the evaluation.
+
+Usage::
+
+    python -m repro.experiments fig10a      # one figure
+    python -m repro.experiments --list      # enumerate figures
+
+or through the benchmark suite (``pytest benchmarks/ --benchmark-only``),
+which runs all of them and writes tables under ``results/``.
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    Series,
+    nrmse_of,
+    run_on_arrival,
+    run_updates,
+    sweep,
+    throughput_mops,
+)
+from repro.experiments.report import emit, format_table
+from repro.experiments.registry import EXPERIMENTS, run
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "run_on_arrival",
+    "run_updates",
+    "throughput_mops",
+    "sweep",
+    "nrmse_of",
+    "emit",
+    "format_table",
+    "EXPERIMENTS",
+    "run",
+]

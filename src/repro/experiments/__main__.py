@@ -1,0 +1,41 @@
+"""CLI entry point: ``python -m repro.experiments <figure> [...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run
+from repro.experiments.report import emit
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate SALSA paper figures as text tables.",
+    )
+    parser.add_argument("figures", nargs="*",
+                        help="figure ids (e.g. fig10a); 'all' for everything")
+    parser.add_argument("--list", action="store_true",
+                        help="list known figure ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.figures:
+        for fig in sorted(EXPERIMENTS):
+            print(fig)
+        return 0
+
+    targets = (sorted(EXPERIMENTS) if args.figures == ["all"]
+               else args.figures)
+    for fig in targets:
+        start = time.perf_counter()
+        for result in run(fig):
+            emit(result)
+        print(f"[{fig}: {time.perf_counter() - start:.1f}s]",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Experiment scaling knobs.
+
+The paper streams 98M packets per run with memory swept from 10KB to
+2MB and averages 10 trials.  A pure-Python reproduction cannot afford
+that per figure, so every experiment here runs a *scaled* operating
+point: stream lengths default to tens of thousands of updates and
+memory sweeps are shrunk by roughly the same factor, keeping the
+counters-per-volume ratios (which determine overflow/merge dynamics
+and the figures' crossovers) in the paper's regime.  EXPERIMENTS.md
+records the mapping per figure.
+
+Environment overrides:
+
+* ``REPRO_SCALE`` -- multiplies every stream length (default 1.0;
+  e.g. ``REPRO_SCALE=8`` runs 8x longer streams).
+* ``REPRO_TRIALS`` -- trials per data point (default 2; paper: 10).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scale() -> float:
+    """Global stream-length multiplier from ``REPRO_SCALE``."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def trials() -> int:
+    """Trials per data point from ``REPRO_TRIALS``."""
+    return max(1, int(os.environ.get("REPRO_TRIALS", "2")))
+
+
+def stream_length(base: int = 1 << 17) -> int:
+    """Scaled stream length (base default: 131072 updates).
+
+    The default keeps head flows well past the 8-bit (255) and 13-bit
+    (8191) counter thresholds so that SALSA merges and ABC saturation
+    actually occur, as they do at the paper's 98M-packet scale.
+    """
+    return max(1_000, int(base * scale()))
+
+
+#: Default memory sweep (bytes): the paper's 10KB..2MB shrunk to match
+#: the scaled stream volume.
+MEMORY_SWEEP = (2 * 1024, 8 * 1024, 32 * 1024, 128 * 1024)
+
+#: Default Zipf skews (paper: 0.6..1.4 in steps of 0.2).
+SKEWS = (0.6, 1.0, 1.4)
+
+#: Datasets of the paper's evaluation (synthetic substitutes).
+DATASETS = ("ny18", "ch16", "univ2", "youtube")

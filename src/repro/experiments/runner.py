@@ -1,0 +1,117 @@
+"""Experiment plumbing: on-arrival simulation, sweeps, result tables.
+
+An experiment produces an :class:`ExperimentResult`: labelled series of
+(x, mean +/- CI) points -- exactly one row group per line of the
+corresponding paper figure.  The report module renders these as text
+tables that the benchmark harness writes under ``results/``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.metrics import OnArrivalCollector, Summary, mean_ci
+
+
+@dataclass
+class Series:
+    """One labelled line of a figure."""
+
+    name: str
+    points: list[tuple[float, Summary]] = field(default_factory=list)
+
+    def add(self, x: float, samples: Sequence[float]) -> None:
+        """Append a point summarizing trial samples."""
+        self.points.append((x, mean_ci(list(samples))))
+
+
+@dataclass
+class ExperimentResult:
+    """Everything needed to print one figure panel as a table."""
+
+    figure: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+
+    def series_named(self, name: str) -> Series:
+        """Fetch (or create) a series by name."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        s = Series(name=name)
+        self.series.append(s)
+        return s
+
+
+# ----------------------------------------------------------------------
+# simulation primitives
+# ----------------------------------------------------------------------
+def run_on_arrival(sketch, trace) -> OnArrivalCollector:
+    """On-arrival frequency estimation: query each arrival, then update.
+
+    This is the paper's primary measurement loop ("the On-arrival model
+    that asks for an estimate of the size of each arriving element").
+    """
+    collector = OnArrivalCollector()
+    update = sketch.update
+    query = sketch.query
+    observe = collector.observe
+    for x in trace:
+        observe(x, query(x))
+        update(x)
+    return collector
+
+
+def run_updates(sketch, trace) -> dict[int, int]:
+    """Feed the whole trace; return the exact frequency vector."""
+    update = sketch.update
+    for x in trace:
+        update(x)
+    return trace.frequencies()
+
+
+def throughput_mops(sketch, trace) -> float:
+    """Update throughput in million updates per second (Figs 8a/b,
+    10e-h, 16c/d).  Updates only, as in the paper's speed plots."""
+    update = sketch.update
+    items = list(trace)
+    start = time.perf_counter()
+    for x in items:
+        update(x)
+    elapsed = time.perf_counter() - start
+    return len(items) / elapsed / 1e6
+
+
+# ----------------------------------------------------------------------
+# sweep helpers
+# ----------------------------------------------------------------------
+def sweep(
+    result: ExperimentResult,
+    xs: Iterable[float],
+    factories: dict[str, Callable[[float, int], object]],
+    measure: Callable[[object, float, int], float],
+    trials: int,
+) -> ExperimentResult:
+    """Generic sweep: for each x and algorithm, average over trials.
+
+    ``factories[name](x, trial)`` builds a fresh sketch;
+    ``measure(sketch, x, trial)`` runs it and returns the metric.
+    """
+    for name, factory in factories.items():
+        series = result.series_named(name)
+        for x in xs:
+            samples = []
+            for trial in range(trials):
+                sketch = factory(x, trial)
+                samples.append(measure(sketch, x, trial))
+            series.add(x, samples)
+    return result
+
+
+def nrmse_of(sketch, trace) -> float:
+    """Convenience: on-arrival NRMSE of one run."""
+    return run_on_arrival(sketch, trace).nrmse()

@@ -1,0 +1,106 @@
+"""Seeded hash families for sketch rows.
+
+A sketch with ``d`` rows needs ``d`` independent hash functions
+``h_i : U -> [w]`` and (for Count Sketch) ``d`` sign functions
+``g_i : U -> {+1, -1}``.  :class:`HashFamily` packages both, seeded and
+deterministic.
+
+Two keyed primitives back the family:
+
+* integer keys go through :func:`mix64` (the splitmix64 finalizer, a
+  full-avalanche 64-bit mixer) keyed by a per-row random 64-bit seed;
+* byte keys go through BobHash (:func:`repro.hashing.bobhash`), the
+  hash used by the paper's C++ code.
+
+Row widths are powths of two throughout the library (as in the paper's
+implementation: "For implementation efficiency, all row widths w are
+powers of two"), so index extraction is a mask.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.hashing.bobhash import bobhash
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def mix64(x: int) -> int:
+    """splitmix64 finalizer: a bijective full-avalanche 64-bit mixer."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class HashFamily:
+    """``d`` seeded hash functions with index and sign extraction.
+
+    Parameters
+    ----------
+    d:
+        Number of rows (hash functions).
+    seed:
+        Master seed; the per-row 64-bit keys are derived from it with a
+        private :class:`random.Random`, so two families with equal seeds
+        are identical (required for sketch merge/subtract, which the
+        paper performs only between sketches "sharing the same hash
+        functions").
+    use_bobhash:
+        When True, integer keys are serialized to 8 bytes and hashed
+        with BobHash instead of the mixer.  Slower; for fidelity runs.
+
+    Notes
+    -----
+    Index and sign come from *independent* parts of the per-row hash:
+    the low bits index the row and bit 63 provides the sign, so using
+    both (as Count Sketch does) does not correlate them.
+    """
+
+    __slots__ = ("d", "seed", "seeds", "_use_bobhash")
+
+    def __init__(self, d: int, seed: int = 0, use_bobhash: bool = False):
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = d
+        self.seed = seed
+        rng = random.Random(seed)
+        self.seeds = [rng.getrandbits(64) for _ in range(d)]
+        self._use_bobhash = use_bobhash
+
+    # ------------------------------------------------------------------
+    def raw(self, item: int | bytes, row: int) -> int:
+        """Return the raw 64-bit (or 32-bit for BobHash) hash of ``item``."""
+        if isinstance(item, bytes):
+            seed = self.seeds[row]
+            lo = bobhash(item, seed & 0xFFFFFFFF)
+            hi = bobhash(item, (seed >> 32) & 0xFFFFFFFF)
+            return (hi << 32) | lo
+        if self._use_bobhash:
+            seed = self.seeds[row]
+            key = (item & _MASK64).to_bytes(8, "little")
+            lo = bobhash(key, seed & 0xFFFFFFFF)
+            hi = bobhash(key, (seed >> 32) & 0xFFFFFFFF)
+            return (hi << 32) | lo
+        return mix64(item ^ self.seeds[row])
+
+    def index(self, item: int | bytes, row: int, w: int) -> int:
+        """Row index of ``item`` in a width-``w`` row (w a power of two)."""
+        return self.raw(item, row) & (w - 1)
+
+    def sign(self, item: int | bytes, row: int) -> int:
+        """+1 or -1, from the top bit of the row hash."""
+        return 1 if self.raw(item, row) >> 63 else -1
+
+    def indexes(self, item: int | bytes, w: int) -> list[int]:
+        """All ``d`` row indices at once."""
+        return [self.raw(item, row) & (w - 1) for row in range(self.d)]
+
+    # ------------------------------------------------------------------
+    def same_functions(self, other: "HashFamily") -> bool:
+        """True if both families realize identical hash functions."""
+        return self.seeds == other.seeds and self._use_bobhash == other._use_bobhash
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HashFamily(d={self.d}, seed={self.seed})"

@@ -1,0 +1,65 @@
+"""MurmurHash3 (x86, 32-bit) for byte keys.
+
+BobHash is the paper's hash; Murmur3 is the other hash ubiquitous in
+sketch implementations (Spark's CountMinSketch [52] uses it), so the
+hash ablation can check that nothing in the library's error structure
+depends on the specific byte hash.  This is a faithful pure-Python port
+of the reference ``MurmurHash3_x86_32`` -- validated against the
+canonical test vectors in ``tests/test_hashing_extras.py``.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK32
+
+
+def murmur3_32(key: bytes, seed: int = 0) -> int:
+    """MurmurHash3_x86_32 of ``key`` with ``seed``; returns uint32."""
+    c1 = 0xCC9E2D51
+    c2 = 0x1B873593
+    h = seed & _MASK32
+    length = len(key)
+    rounded = length - length % 4
+
+    for offset in range(0, rounded, 4):
+        k = int.from_bytes(key[offset:offset + 4], "little")
+        k = (k * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        h ^= k
+        h = _rotl32(h, 13)
+        h = (h * 5 + 0xE6546B64) & _MASK32
+
+    # Tail (1-3 trailing bytes).
+    k = 0
+    tail = key[rounded:]
+    if len(tail) >= 3:
+        k ^= tail[2] << 16
+    if len(tail) >= 2:
+        k ^= tail[1] << 8
+    if len(tail) >= 1:
+        k ^= tail[0]
+        k = (k * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        h ^= k
+
+    # Finalization mix.
+    h ^= length
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def murmur3_64(key: bytes, seed: int = 0) -> int:
+    """64 bits from two seeded 32-bit Murmur3 calls (lo | hi << 32)."""
+    lo = murmur3_32(key, seed & _MASK32)
+    hi = murmur3_32(key, (seed >> 32) & _MASK32 ^ 0x9E3779B9)
+    return (hi << 32) | lo

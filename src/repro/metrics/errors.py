@@ -1,0 +1,142 @@
+"""Frequency-estimation error metrics.
+
+Definitions follow the paper exactly:
+
+* ``MSE = (1/n) * sum(e_i^2)`` over the n on-arrival errors,
+  ``RMSE = sqrt(MSE)``, ``NRMSE = RMSE / n``.
+* ``AAE = (1/|U>0|) * sum_x |f̂_x - f_x|`` over items with f_x > 0.
+* ``ARE = (1/|U>0|) * sum_x |f̂_x - f_x| / f_x``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Mapping
+
+
+def mse(errors: Iterable[float]) -> float:
+    """Mean square error of a sequence of per-arrival errors."""
+    total = 0.0
+    n = 0
+    for e in errors:
+        total += e * e
+        n += 1
+    if n == 0:
+        raise ValueError("mse of an empty error sequence is undefined")
+    return total / n
+
+
+def rmse(errors: Iterable[float]) -> float:
+    """Root mean square error."""
+    return math.sqrt(mse(errors))
+
+
+def nrmse(errors: Iterable[float], n: int | None = None) -> float:
+    """Normalized RMSE: RMSE divided by the number of arrivals.
+
+    ``n`` overrides the normalizer when the error sequence is not one
+    entry per arrival (e.g. change detection normalizes by the stream
+    volume, see Fig 15 c/d).
+    """
+    errs = list(errors)
+    denom = n if n is not None else len(errs)
+    if denom == 0:
+        raise ValueError("nrmse with a zero normalizer is undefined")
+    return rmse(errs) / denom
+
+
+def aae(estimates: Mapping[int, float], truth: Mapping[int, int]) -> float:
+    """Average absolute error over items with non-zero true frequency."""
+    if not truth:
+        raise ValueError("aae over an empty ground truth is undefined")
+    return sum(abs(estimates[x] - f) for x, f in truth.items()) / len(truth)
+
+
+def are(estimates: Mapping[int, float], truth: Mapping[int, int]) -> float:
+    """Average relative error over items with non-zero true frequency."""
+    if not truth:
+        raise ValueError("are over an empty ground truth is undefined")
+    return sum(abs(estimates[x] - f) / f for x, f in truth.items()) / len(truth)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / truth for scalar task outputs."""
+    if truth == 0:
+        raise ValueError("relative error against a zero truth is undefined")
+    return abs(estimate - truth) / abs(truth)
+
+
+class OnArrivalCollector:
+    """Accumulates on-arrival squared errors in O(1) memory.
+
+    The on-arrival model queries the estimate of each arriving element
+    *before* applying its update; the collector tracks the running
+    true count per item itself, so simulation loops only hand it the
+    item and the sketch's estimate.
+
+    Examples
+    --------
+    >>> c = OnArrivalCollector()
+    >>> c.observe(item=7, estimate=0)   # first arrival, truth was 0
+    >>> c.observe(item=7, estimate=1)   # second arrival, truth was 1
+    >>> c.nrmse()
+    0.0
+    """
+
+    __slots__ = ("_true", "_sum_sq", "_sum_abs", "n")
+
+    def __init__(self):
+        self._true: dict[int, int] = {}
+        self._sum_sq = 0.0
+        self._sum_abs = 0.0
+        self.n = 0
+
+    def observe(self, item: int, estimate: float) -> None:
+        """Record one arrival: its pre-update estimate vs true count."""
+        truth = self._true.get(item, 0)
+        err = estimate - truth
+        self._sum_sq += err * err
+        self._sum_abs += abs(err)
+        self.n += 1
+        self._true[item] = truth + 1
+
+    def mse(self) -> float:
+        """Mean square on-arrival error."""
+        if self.n == 0:
+            raise ValueError("no arrivals observed")
+        return self._sum_sq / self.n
+
+    def rmse(self) -> float:
+        """Root mean square on-arrival error."""
+        return math.sqrt(self.mse())
+
+    def nrmse(self) -> float:
+        """RMSE normalized by the number of arrivals (paper's NRMSE)."""
+        return self.rmse() / self.n
+
+    def mean_absolute(self) -> float:
+        """Mean absolute on-arrival error."""
+        if self.n == 0:
+            raise ValueError("no arrivals observed")
+        return self._sum_abs / self.n
+
+    @property
+    def true_frequencies(self) -> dict[int, int]:
+        """Final exact frequency vector accumulated during the run."""
+        return self._true
+
+
+def final_errors(
+    query: Callable[[int], float], truth: Mapping[int, int]
+) -> tuple[float, float]:
+    """(AAE, ARE) of a sketch's final estimates against exact counts."""
+    abs_sum = 0.0
+    rel_sum = 0.0
+    for x, f in truth.items():
+        err = abs(query(x) - f)
+        abs_sum += err
+        rel_sum += err / f
+    n = len(truth)
+    if n == 0:
+        raise ValueError("empty ground truth")
+    return abs_sum / n, rel_sum / n

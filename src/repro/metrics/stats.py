@@ -1,0 +1,58 @@
+"""Trial statistics: means with Student-t confidence intervals.
+
+"Each data point is the result of ten trials; we report the mean and
+95% confidence intervals according to Student's t-test" (section VI).
+The default trial count here is smaller (see ``repro.experiments``) but
+the statistic is the same.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Two-sided 95% critical values of the t distribution for df = 1..30.
+#: Stored explicitly to avoid a scipy dependency on the hot import path
+#: (scipy is available and used in tests to validate this table).
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError(f"df must be >= 1, got {df}")
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return 1.960  # normal approximation beyond the table
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with a symmetric 95% confidence half-width."""
+
+    mean: float
+    ci95: float
+    n: int
+
+    def __str__(self) -> str:
+        if self.n <= 1 or self.ci95 == 0.0:
+            return f"{self.mean:.6g}"
+        return f"{self.mean:.6g} +/- {self.ci95:.3g}"
+
+
+def mean_ci(samples: Sequence[float]) -> Summary:
+    """Mean and 95% Student-t confidence half-width of ``samples``."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("mean_ci of an empty sample is undefined")
+    mean = sum(samples) / n
+    if n == 1:
+        return Summary(mean=mean, ci95=0.0, n=1)
+    var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    half = t_critical_95(n - 1) * math.sqrt(var / n)
+    return Summary(mean=mean, ci95=half, n=n)

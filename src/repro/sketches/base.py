@@ -1,0 +1,80 @@
+"""Shared sketch infrastructure: models, interfaces, memory sizing.
+
+Every sketch in the library -- baselines, competitors, and the SALSA
+variants in :mod:`repro.core` -- follows the same small interface:
+``update(item, value)``, ``query(item)``, and a ``memory_bytes``
+property that includes all encoding overheads, because the paper's
+figures put *allocated memory including overheads* on the x-axis
+("When we give figures where an x-axis is allocated memory, we include
+the encoding overheads").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol, runtime_checkable
+
+
+class StreamModel(enum.Enum):
+    """The three stream models of section III."""
+
+    CASH_REGISTER = "cash_register"      # strictly positive updates
+    STRICT_TURNSTILE = "strict_turnstile"  # frequencies never negative
+    TURNSTILE = "turnstile"              # fully general
+
+
+@runtime_checkable
+class FrequencySketch(Protocol):
+    """Anything that estimates per-item frequencies from a stream."""
+
+    def update(self, item: int, value: int = 1) -> None:
+        """Process the update ``<item, value>``."""
+        ...
+
+    def query(self, item: int) -> float:
+        """Estimate the frequency of ``item``."""
+        ...
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total memory footprint, including encoding overheads."""
+        ...
+
+
+def width_for_memory(memory_bytes: int, d: int, counter_bits: int,
+                     overhead_bits: float = 0.0) -> int:
+    """Largest power-of-two row width fitting in ``memory_bytes``.
+
+    The paper configures every sketch by total allocated memory and
+    keeps row widths as powers of two; the per-counter cost is the
+    counter itself plus any encoding overhead (1 bit for SALSA's simple
+    encoding, ~0.594 for the compact one, 0 for fixed-width baselines).
+
+    Raises ``ValueError`` if not even a 2-counter row fits, so sweeps
+    fail loudly rather than building degenerate sketches.
+    """
+    total_bits = memory_bytes * 8
+    per_counter = counter_bits + overhead_bits
+    max_w = total_bits / (d * per_counter)
+    if max_w < 2:
+        raise ValueError(
+            f"{memory_bytes}B cannot hold d={d} rows of "
+            f"{per_counter}-bit counters"
+        )
+    w = 1
+    while w * 2 <= max_w:
+        w *= 2
+    return w
+
+
+def median(values: list[float]) -> float:
+    """Median used by Count Sketch row aggregation (mean of middle two
+    for even counts)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("median of empty list")
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2

@@ -1,0 +1,99 @@
+"""Conservative Update Sketch (CUS, Estan-Varghese).
+
+CMS restricted to the Cash Register model, with the conservative
+increment rule of section III: on update ``<x, v>`` each counter is set
+to ``max(counter, v + f̂_x)`` where ``f̂_x`` is the pre-update estimate.
+Counters never exceed what CMS would hold, so CUS dominates CMS in
+accuracy at the cost of a pre-update query.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.hashing import HashFamily, mix64
+from repro.sketches.base import StreamModel, width_for_memory
+
+
+class ConservativeUpdateSketch:
+    """Fixed-width Conservative Update Sketch (Cash Register only).
+
+    Parameters mirror :class:`~repro.sketches.count_min.CountMinSketch`;
+    small-counter variants saturate the same way.
+
+    Examples
+    --------
+    >>> cus = ConservativeUpdateSketch(w=1024, d=4, seed=1)
+    >>> for _ in range(3):
+    ...     cus.update(7)
+    >>> cus.query(7) >= 3
+    True
+    """
+
+    model = StreamModel.CASH_REGISTER
+
+    def __init__(self, w: int, d: int = 4, counter_bits: int = 32,
+                 seed: int = 0, hash_family: HashFamily | None = None):
+        if w < 1 or w & (w - 1):
+            raise ValueError(f"w must be a positive power of two, got {w}")
+        if counter_bits < 1 or counter_bits > 64:
+            raise ValueError(f"counter_bits must be in [1, 64], got {counter_bits}")
+        self.w = w
+        self.d = d
+        self.counter_bits = counter_bits
+        self.cap = (1 << counter_bits) - 1
+        self.hashes = hash_family if hash_family is not None else HashFamily(d, seed)
+        self.rows = [array("q", [0]) * w for _ in range(d)]
+
+    @classmethod
+    def for_memory(cls, memory_bytes: int, d: int = 4, counter_bits: int = 32,
+                   seed: int = 0) -> "ConservativeUpdateSketch":
+        """Build the largest sketch fitting in ``memory_bytes``."""
+        w = width_for_memory(memory_bytes, d, counter_bits)
+        return cls(w=w, d=d, counter_bits=counter_bits, seed=seed)
+
+    # ------------------------------------------------------------------
+    def update(self, item: int, value: int = 1) -> None:
+        """Conservative increment: raise only counters below v + f̂_x."""
+        if value <= 0:
+            raise ValueError(
+                f"CUS is a Cash Register sketch; got update value {value}"
+            )
+        mask = self.w - 1
+        rows = self.rows
+        idxs = [mix64(item ^ seed) & mask for seed in self.hashes.seeds]
+        est = min(row[idx] for row, idx in zip(rows, idxs))
+        target = est + value
+        if target > self.cap:
+            target = self.cap
+        for row, idx in zip(rows, idxs):
+            if row[idx] < target:
+                row[idx] = target
+
+    def query(self, item: int) -> int:
+        """Minimum of the item's counters."""
+        mask = self.w - 1
+        est = None
+        for row, seed in zip(self.rows, self.hashes.seeds):
+            c = row[mix64(item ^ seed) & mask]
+            if est is None or c < est:
+                est = c
+        return est
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Counter storage only."""
+        return self.d * self.w * self.counter_bits // 8
+
+    def zero_counters(self, row: int = 0) -> int:
+        """Number of zero-valued counters in ``row`` (Linear Counting)."""
+        return sum(1 for c in self.rows[row] if c == 0)
+
+    def row_counters(self, row: int) -> list[int]:
+        """A copy of one row's counter values."""
+        return list(self.rows[row])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ConservativeUpdateSketch(w={self.w}, d={self.d}, "
+                f"counter_bits={self.counter_bits})")

@@ -1,0 +1,125 @@
+"""Count Sketch (CS, Charikar-Chen-Farach-Colton).
+
+Works in the general Turnstile model and provides an L2 guarantee
+(section III): each row adds ``g_i(x) * v`` to the item's counter, the
+estimate is the median over rows of ``counter * g_i(x)``.  The sign
+hash "unbiases" collision noise, so each row is an unbiased estimator.
+
+The baseline uses 32-bit two's-complement counters (sign-magnitude is
+a SALSA-specific change, see :mod:`repro.core.salsa_cs`); values are
+clamped to the representable range, which never binds in practice.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.hashing import HashFamily, mix64
+from repro.sketches.base import StreamModel, median, width_for_memory
+
+
+class CountSketch:
+    """Fixed-width Count Sketch (Turnstile).
+
+    Parameters
+    ----------
+    w:
+        Row width (power of two).
+    d:
+        Number of rows (paper default for CS: 5, to take a clean
+        median).
+    counter_bits:
+        Two's-complement width; range is ``[-2^(b-1), 2^(b-1) - 1]``.
+
+    Examples
+    --------
+    >>> cs = CountSketch(w=1024, d=5, seed=1)
+    >>> for _ in range(10):
+    ...     cs.update(3)
+    >>> 0 <= cs.query(3) <= 20
+    True
+    """
+
+    model = StreamModel.TURNSTILE
+
+    def __init__(self, w: int, d: int = 5, counter_bits: int = 32,
+                 seed: int = 0, hash_family: HashFamily | None = None):
+        if w < 1 or w & (w - 1):
+            raise ValueError(f"w must be a positive power of two, got {w}")
+        if counter_bits < 2 or counter_bits > 64:
+            raise ValueError(f"counter_bits must be in [2, 64], got {counter_bits}")
+        self.w = w
+        self.d = d
+        self.counter_bits = counter_bits
+        self.max_val = (1 << (counter_bits - 1)) - 1
+        self.min_val = -(1 << (counter_bits - 1))
+        self.hashes = hash_family if hash_family is not None else HashFamily(d, seed)
+        self.rows = [array("q", [0]) * w for _ in range(d)]
+
+    @classmethod
+    def for_memory(cls, memory_bytes: int, d: int = 5, counter_bits: int = 32,
+                   seed: int = 0) -> "CountSketch":
+        """Build the largest sketch fitting in ``memory_bytes``."""
+        w = width_for_memory(memory_bytes, d, counter_bits)
+        return cls(w=w, d=d, counter_bits=counter_bits, seed=seed)
+
+    # ------------------------------------------------------------------
+    def update(self, item: int, value: int = 1) -> None:
+        """Add ``g_i(x) * value`` to the item's counter in each row."""
+        mask = self.w - 1
+        lo, hi = self.min_val, self.max_val
+        for row, seed in zip(self.rows, self.hashes.seeds):
+            h = mix64(item ^ seed)
+            idx = h & mask
+            signed = value if h >> 63 else -value
+            new = row[idx] + signed
+            row[idx] = hi if new > hi else (lo if new < lo else new)
+
+    def query(self, item: int) -> float:
+        """Median over rows of ``counter * g_i(x)``."""
+        mask = self.w - 1
+        votes = []
+        for row, seed in zip(self.rows, self.hashes.seeds):
+            h = mix64(item ^ seed)
+            c = row[h & mask]
+            votes.append(c if h >> 63 else -c)
+        return median(votes)
+
+    def row_estimate(self, item: int, row: int) -> int:
+        """Single-row unbiased estimate (used by UnivMon internals)."""
+        h = mix64(item ^ self.hashes.seeds[row])
+        c = self.rows[row][h & (self.w - 1)]
+        return c if h >> 63 else -c
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Counter storage only."""
+        return self.d * self.w * self.counter_bits // 8
+
+    def merge(self, other: "CountSketch") -> None:
+        """Counter-wise sum: self becomes s(A u B)."""
+        self._check_compatible(other)
+        for mine, theirs in zip(self.rows, other.rows):
+            for i in range(self.w):
+                mine[i] += theirs[i]
+
+    def subtract(self, other: "CountSketch") -> None:
+        """Counter-wise difference: self becomes s(A \\ B).
+
+        CS is a Turnstile sketch, so general subtraction is valid.
+        """
+        self._check_compatible(other)
+        for mine, theirs in zip(self.rows, other.rows):
+            for i in range(self.w):
+                mine[i] -= theirs[i]
+
+    def _check_compatible(self, other: "CountSketch") -> None:
+        if (self.w, self.d) != (other.w, other.d):
+            raise ValueError("sketch shapes differ")
+        if not self.hashes.same_functions(other.hashes):
+            raise ValueError("sketches do not share hash functions")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CountSketch(w={self.w}, d={self.d}, "
+                f"counter_bits={self.counter_bits})")

@@ -1,0 +1,142 @@
+"""Elastic Sketch: a heavy part of exact entries + a light CMS.
+
+Reference [30, Yang et al., SIGCOMM 2018] -- cited by the paper for its
+use of Linear Counting, and the best-known "separate the elephants from
+the mice" design.  Elastic keeps a *heavy part* (hash buckets holding
+``(key, positive_votes, negative_votes, flag)``) in front of a *light
+part* (a small-counter CMS).  Ostracism evicts a resident elephant
+whose negative-vote ratio gets too high; the evicted count is folded
+into the light part.
+
+Queries sum the heavy entry (if present) with the light estimate when
+the entry's ``flag`` says part of the flow may have passed through the
+light part.
+
+The extension bench ``ext_elastic`` puts Elastic next to SALSA: Elastic
+wins when elephants are few and stable (exact entries), SALSA when the
+head is wide or memory is tight (no per-entry key overhead).
+"""
+
+from __future__ import annotations
+
+from repro.hashing import HashFamily, mix64
+from repro.sketches.base import StreamModel
+from repro.sketches.count_min import CountMinSketch
+
+#: Eviction threshold: evict when negative_votes / positive_votes
+#: exceeds lambda (the Elastic paper's default is 8).
+LAMBDA = 8
+
+#: Bytes per heavy-part bucket: 8B key + 4B votes+ + 4B votes- + flag.
+BUCKET_BYTES = 17
+
+
+class _Bucket:
+    """One heavy-part bucket."""
+
+    __slots__ = ("key", "positive", "negative", "flag")
+
+    def __init__(self):
+        self.key: int | None = None
+        self.positive = 0     # count of the resident flow
+        self.negative = 0     # votes against it (other flows' arrivals)
+        self.flag = False     # True if the resident may have light-part mass
+
+
+class ElasticSketch:
+    """Heavy/light two-part sketch with vote-based ostracism.
+
+    Parameters
+    ----------
+    heavy_buckets:
+        Number of heavy-part buckets (power of two).
+    light_memory:
+        Bytes for the light part (an 8-bit CMS, as in the original).
+    seed:
+        Hash seed for both parts.
+
+    Examples
+    --------
+    >>> es = ElasticSketch(heavy_buckets=1 << 8, light_memory=1024, seed=1)
+    >>> for _ in range(300):
+    ...     es.update(42)
+    >>> es.query(42)
+    300
+    """
+
+    model = StreamModel.CASH_REGISTER
+
+    def __init__(self, heavy_buckets: int, light_memory: int = 4096,
+                 seed: int = 0):
+        if heavy_buckets < 2 or heavy_buckets & (heavy_buckets - 1):
+            raise ValueError(
+                f"heavy_buckets must be a power of two >= 2, "
+                f"got {heavy_buckets}")
+        self.heavy_buckets = heavy_buckets
+        self.seed = seed
+        self._buckets = [_Bucket() for _ in range(heavy_buckets)]
+        light_w = 8
+        while (light_w * 2) * 1 <= light_memory:  # d=1 row of 8-bit cells
+            light_w *= 2
+        self.light = CountMinSketch(w=light_w, d=1, counter_bits=8,
+                                    seed=seed ^ 0xE1A5,
+                                    hash_family=HashFamily(1, seed ^ 0xE1A5))
+        self.n = 0
+
+    def _bucket_of(self, item: int) -> _Bucket:
+        return self._buckets[mix64(item ^ mix64(self.seed))
+                             & (self.heavy_buckets - 1)]
+
+    # ------------------------------------------------------------------
+    def update(self, item: int, value: int = 1) -> None:
+        """Elastic's insertion with ostracism."""
+        if value <= 0:
+            raise ValueError("Elastic Sketch is Cash-Register-only")
+        self.n += value
+        bucket = self._bucket_of(item)
+        if bucket.key is None:
+            bucket.key = item
+            bucket.positive = value
+            bucket.flag = False
+            return
+        if bucket.key == item:
+            bucket.positive += value
+            return
+        bucket.negative += value
+        if bucket.negative < LAMBDA * bucket.positive:
+            # Not enough votes to evict: the arrival goes to the light part.
+            self.light.update(item, value)
+            return
+        # Ostracism: the resident is evicted into the light part and the
+        # newcomer takes the bucket, flagged (its earlier arrivals, if
+        # any, are in the light part).
+        self.light.update(bucket.key, bucket.positive)
+        bucket.key = item
+        bucket.positive = value
+        bucket.negative = 0
+        bucket.flag = True
+
+    def query(self, item: int) -> int:
+        """Heavy count plus (when flagged or absent) the light estimate."""
+        bucket = self._bucket_of(item)
+        if bucket.key == item:
+            if bucket.flag:
+                return bucket.positive + self.light.query(item)
+            return bucket.positive
+        return self.light.query(item)
+
+    def heavy_entries(self) -> list[tuple[int, int]]:
+        """Resident ``(item, count)`` pairs, largest first."""
+        rows = [(b.key, b.positive) for b in self._buckets
+                if b.key is not None]
+        rows.sort(key=lambda row: -row[1])
+        return rows
+
+    @property
+    def memory_bytes(self) -> int:
+        """Heavy buckets plus the light CMS."""
+        return self.heavy_buckets * BUCKET_BYTES + self.light.memory_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ElasticSketch(heavy_buckets={self.heavy_buckets}, "
+                f"light_w={self.light.w})")

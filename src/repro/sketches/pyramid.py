@@ -1,0 +1,166 @@
+"""Pyramid Sketch (Yang et al., VLDB 2017) -- reimplemented from scratch.
+
+Pyramid extends overflowing counters through a hierarchy of
+*pre-allocated* layers: layer 1 holds ``w1`` pure delta-bit counters;
+every layer above has half as many counters, each carrying 2 child
+overflow flags plus ``delta - 2`` carry bits shared by its two
+children.  An overflowing counter wraps and carries one unit into its
+parent, setting its child flag; reading walks the carry chain upward
+while flags are set.
+
+The two structural properties the SALSA paper criticizes are faithfully
+present here:
+
+* upper-layer counters are allocated whether or not they are ever used
+  ("inferior memory utilization"), and
+* siblings that both overflow *share* their most significant bits in
+  the common parent, which inflates error variance for exactly the
+  elements that overflow (Fig 9, region A).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.hashing import HashFamily, mix64
+from repro.sketches.base import StreamModel
+
+
+class PyramidSketch:
+    """Pyramid Sketch, Count-Min variant (PCM).
+
+    Parameters
+    ----------
+    w1:
+        Width of the first (counting) layer; a power of two.
+    d:
+        Number of hash functions into layer 1 (the layers above are
+        shared, per the original design).
+    delta:
+        Bits per counter in every layer (authors' default 8): pure
+        count at layer 1, 2 flags + ``delta - 2`` carry bits above.
+    layers:
+        Number of layers; defaults to enough that the top layer has at
+        least 4 counters.
+    """
+
+    model = StreamModel.CASH_REGISTER
+
+    def __init__(self, w1: int, d: int = 4, delta: int = 8,
+                 layers: int | None = None, seed: int = 0):
+        if w1 < 4 or w1 & (w1 - 1):
+            raise ValueError(f"w1 must be a power of two >= 4, got {w1}")
+        if delta < 4:
+            raise ValueError(f"delta must be >= 4, got {delta}")
+        if layers is None:
+            layers = 1
+            width = w1
+            while width > 4:
+                width //= 2
+                layers += 1
+        self.w1 = w1
+        self.d = d
+        self.delta = delta
+        self.n_layers = layers
+        self.hashes = HashFamily(d, seed)
+        self._layer1_cap = (1 << delta) - 1
+        self._upper_cap = (1 << (delta - 2)) - 1
+        # values[i]: counter (carry) values at layer i+1.
+        self.values = [array("q", [0]) * max(2, w1 >> i) for i in range(layers)]
+        # flags[i][j] bits: 1 = left child overflowed, 2 = right child.
+        self.flags = [bytearray(max(2, w1 >> i)) for i in range(layers)]
+
+    @classmethod
+    def for_memory(cls, memory_bytes: int, d: int = 4, delta: int = 8,
+                   seed: int = 0) -> "PyramidSketch":
+        """Largest Pyramid fitting in ``memory_bytes``.
+
+        Total bits ~= 2 * w1 * delta (the geometric layer series), so
+        we size w1 to half the budget.
+        """
+        total_bits = memory_bytes * 8
+        w1 = 4
+        while cls._footprint_bits(w1 * 2, delta) <= total_bits:
+            w1 *= 2
+        return cls(w1=w1, d=d, delta=delta, seed=seed)
+
+    @staticmethod
+    def _footprint_bits(w1: int, delta: int) -> int:
+        bits = 0
+        width = w1
+        while width > 4:
+            bits += width * delta
+            width //= 2
+        return bits + width * delta
+
+    # ------------------------------------------------------------------
+    def _carry(self, layer: int, idx: int) -> None:
+        """Propagate an overflow from (layer, idx) into its parent."""
+        if layer + 1 >= self.n_layers:
+            # Top layer saturates; nothing above to carry into.
+            self.values[layer][idx] = (
+                self._layer1_cap if layer == 0 else self._upper_cap
+            )
+            return
+        parent = idx >> 1
+        self.flags[layer + 1][parent] |= 1 << (idx & 1)
+        new = self.values[layer + 1][parent] + 1
+        if new > self._upper_cap:
+            self.values[layer + 1][parent] = 0
+            self._carry(layer + 1, parent)
+        else:
+            self.values[layer + 1][parent] = new
+
+    def _increment(self, idx: int) -> None:
+        vals = self.values[0]
+        new = vals[idx] + 1
+        if new > self._layer1_cap:
+            vals[idx] = 0
+            self._carry(0, idx)
+        else:
+            vals[idx] = new
+
+    def update(self, item: int, value: int = 1) -> None:
+        """Unit-increment each of the item's layer-1 counters."""
+        if value < 1:
+            raise ValueError("Pyramid is a Cash Register sketch")
+        mask = self.w1 - 1
+        for seed in self.hashes.seeds:
+            idx = mix64(item ^ seed) & mask
+            for _ in range(value):
+                self._increment(idx)
+
+    def _reconstruct(self, idx: int) -> int:
+        """Read the full value rooted at layer-1 counter ``idx``."""
+        total = self.values[0][idx]
+        shift = self.delta
+        child = idx
+        for layer in range(1, self.n_layers):
+            parent = child >> 1
+            if not self.flags[layer][parent] & (1 << (child & 1)):
+                break
+            total += self.values[layer][parent] << shift
+            shift += self.delta - 2
+            child = parent
+        return total
+
+    def query(self, item: int) -> int:
+        """Minimum of the d reconstructed counter values."""
+        mask = self.w1 - 1
+        est = None
+        for seed in self.hashes.seeds:
+            v = self._reconstruct(mix64(item ^ seed) & mask)
+            if est is None or v < est:
+                est = v
+        return est
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """All layers, flags included (they live inside the counters)."""
+        bits = sum(len(v) * self.delta for v in self.values)
+        return (bits + 7) // 8
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"PyramidSketch(w1={self.w1}, d={self.d}, "
+                f"delta={self.delta}, layers={self.n_layers})")

@@ -1,0 +1,177 @@
+"""Counter-based heavy-hitter algorithms: Space-Saving and Misra-Gries.
+
+The paper's task layer finds heavy hitters by pairing a sketch with a
+min-heap (section III, "Finding Heavy Hitters").  The classic
+*counter-based* alternative -- covered by the survey the paper uses for
+its heavy-hitter methodology [48, Cormode & Hadjieleftheriou] -- keeps
+an explicit table of (item, count) pairs instead of a hashed counter
+matrix.  We implement both canonical members of that family so the
+extension benches can put SALSA's heap-on-sketch approach side by side
+with them:
+
+* :class:`SpaceSaving` (Metwally et al.): on a miss, the minimum
+  counter is *reassigned* to the new item and incremented, so every
+  estimate over-counts by at most ``N / k``.
+* :class:`MisraGries` (a.k.a. Frequent): on a miss with a full table,
+  *all* counters are decremented, so every estimate under-counts by at
+  most ``N / (k + 1)``.
+
+Both are Cash-Register-only and deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.sketches.base import StreamModel
+
+#: Bytes we charge per table entry: an 8-byte key, an 8-byte count and
+#: amortized ~8 bytes of ordering structure (the C implementations in
+#: [48] use a "stream summary" doubly-linked bucket list).
+ENTRY_BYTES = 24
+
+
+class SpaceSaving:
+    """Space-Saving: the min counter is recycled for unseen items.
+
+    Parameters
+    ----------
+    k:
+        Number of monitored entries.  Guarantees
+        ``f_x <= query(x) <= f_x + N/k`` and finds every item with
+        frequency above ``N/k``.
+
+    Examples
+    --------
+    >>> ss = SpaceSaving(k=2)
+    >>> for item in [1, 1, 1, 2, 3]:
+    ...     ss.update(item)
+    >>> ss.query(1)
+    3
+    >>> sorted(item for item, _est, _err in ss.entries())[0]
+    1
+    """
+
+    model = StreamModel.CASH_REGISTER
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        #: item -> (count, error), where ``error`` is the count the
+        #: entry inherited when it took over the minimum.
+        self._table: dict[int, tuple[int, int]] = {}
+        self.n = 0
+
+    def update(self, item: int, value: int = 1) -> None:
+        """Process ``<item, value>`` (value must be positive)."""
+        if value <= 0:
+            raise ValueError("Space-Saving is Cash-Register-only")
+        self.n += value
+        entry = self._table.get(item)
+        if entry is not None:
+            self._table[item] = (entry[0] + value, entry[1])
+            return
+        if len(self._table) < self.k:
+            self._table[item] = (value, 0)
+            return
+        victim = min(self._table, key=lambda key: self._table[key][0])
+        floor = self._table[victim][0]
+        del self._table[victim]
+        self._table[item] = (floor + value, floor)
+
+    def query(self, item: int) -> int:
+        """Over-estimate of ``item``'s frequency (0 if unmonitored)."""
+        entry = self._table.get(item)
+        return entry[0] if entry is not None else 0
+
+    def guaranteed(self, item: int) -> int:
+        """Lower bound on ``item``'s frequency (count minus error)."""
+        entry = self._table.get(item)
+        return entry[0] - entry[1] if entry is not None else 0
+
+    def entries(self) -> list[tuple[int, int, int]]:
+        """Monitored ``(item, estimate, error)`` rows, largest first."""
+        rows = [(item, count, err)
+                for item, (count, err) in self._table.items()]
+        rows.sort(key=lambda row: -row[1])
+        return rows
+
+    def heavy_hitters(self, phi: float) -> list[tuple[int, int]]:
+        """Items whose estimate is at least ``phi * N``."""
+        threshold = phi * self.n
+        return [(item, est) for item, est, _err in self.entries()
+                if est >= threshold]
+
+    @property
+    def memory_bytes(self) -> int:
+        """Allocated table footprint (k entries whether used or not)."""
+        return self.k * ENTRY_BYTES
+
+
+class MisraGries:
+    """Misra-Gries (Frequent): decrement-all on a miss with a full table.
+
+    Parameters
+    ----------
+    k:
+        Number of counters.  Guarantees
+        ``f_x - N/(k+1) <= query(x) <= f_x``.
+
+    Examples
+    --------
+    >>> mg = MisraGries(k=2)
+    >>> for item in [1, 1, 1, 2, 3]:
+    ...     mg.update(item)
+    >>> 1 <= mg.query(1) <= 3
+    True
+    >>> mg.query(2)  # under-estimates, never over
+    0
+    """
+
+    model = StreamModel.CASH_REGISTER
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._table: dict[int, int] = {}
+        self.n = 0
+
+    def update(self, item: int, value: int = 1) -> None:
+        """Process ``<item, value>`` (value must be positive)."""
+        if value <= 0:
+            raise ValueError("Misra-Gries is Cash-Register-only")
+        self.n += value
+        remaining = value
+        if item in self._table:
+            self._table[item] += remaining
+            return
+        while remaining > 0:
+            if len(self._table) < self.k:
+                self._table[item] = remaining
+                return
+            # Decrement everything by the smallest count (weighted
+            # generalization of decrement-by-one); drop zeros.
+            floor = min(min(self._table.values()), remaining)
+            remaining -= floor
+            self._table = {key: count - floor
+                           for key, count in self._table.items()
+                           if count > floor}
+
+    def query(self, item: int) -> int:
+        """Under-estimate of ``item``'s frequency (0 if unmonitored)."""
+        return self._table.get(item, 0)
+
+    def entries(self) -> list[tuple[int, int]]:
+        """Monitored ``(item, estimate)`` rows, largest first."""
+        return sorted(self._table.items(), key=lambda row: -row[1])
+
+    def heavy_hitters(self, phi: float) -> list[tuple[int, int]]:
+        """Items that *may* exceed ``phi * N`` (no false negatives)."""
+        threshold = phi * self.n - self.n / (self.k + 1)
+        return [(item, est) for item, est in self.entries()
+                if est >= threshold]
+
+    @property
+    def memory_bytes(self) -> int:
+        """Allocated table footprint (k entries whether used or not)."""
+        return self.k * ENTRY_BYTES

@@ -1,0 +1,149 @@
+"""UnivMon: the universal monitoring sketch (Liu et al., SIGCOMM 2016).
+
+UnivMon maintains O(log u) levels; level j sees item x only if x's
+first j sampling-hash bits are all 1 (so each level halves the expected
+universe).  Every level runs an L2 sketch (Count Sketch) plus a heap of
+its heaviest items.  Any G-sum in Stream-PolyLog is then estimated by
+the bottom-up recursion
+
+    Y_j = 2 * Y_{j+1} + sum_{x in Q_j} G(f̂_x^j) * (1 - 2 * sampled_{j+1}(x))
+
+The paper's configuration (section VI): 16 CS instances, d = 5, heaps
+of size 100.  Fig 12 swaps the CS instances for SALSA CS, which is why
+the level sketch is an injected factory here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hashing import HashFamily, mix64
+from repro.sketches.base import StreamModel
+from repro.sketches.count_sketch import CountSketch
+
+
+class _TopHeap:
+    """Tracks the heap_size items with the largest running estimates."""
+
+    __slots__ = ("capacity", "entries")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: dict[int, float] = {}
+
+    def offer(self, item: int, estimate: float) -> None:
+        entries = self.entries
+        if item in entries or len(entries) < self.capacity:
+            entries[item] = estimate
+            return
+        victim = min(entries, key=entries.get)
+        if estimate > entries[victim]:
+            del entries[victim]
+            entries[item] = estimate
+
+    def items(self) -> list[int]:
+        return list(self.entries)
+
+
+class UnivMon:
+    """Universal sketch over ``levels`` sampled substreams.
+
+    Parameters
+    ----------
+    w:
+        Row width of each per-level Count Sketch.
+    d:
+        Rows per Count Sketch (paper: 5).
+    levels:
+        Number of levels (paper: 16).
+    heap_size:
+        Heavy-item heap per level (paper: 100).
+    cs_factory:
+        ``f(level) -> sketch`` override; used to build SALSA UnivMon.
+    """
+
+    model = StreamModel.CASH_REGISTER
+
+    def __init__(self, w: int, d: int = 5, levels: int = 16,
+                 heap_size: int = 100, seed: int = 0,
+                 cs_factory: Callable[[int], object] | None = None):
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        self.w = w
+        self.d = d
+        self.levels = levels
+        self.heap_size = heap_size
+        if cs_factory is None:
+            cs_factory = lambda level: CountSketch(
+                w=w, d=d, seed=seed + 7919 * (level + 1)
+            )
+        self.sketches = [cs_factory(j) for j in range(levels)]
+        self.heaps = [_TopHeap(heap_size) for _ in range(levels)]
+        # One sampling hash per level > 0; level 0 sees everything.
+        self._sample_seeds = [
+            HashFamily(1, seed ^ (0x5A11CE + j)).seeds[0]
+            for j in range(levels)
+        ]
+        self.volume = 0
+
+    # ------------------------------------------------------------------
+    def sampled_at(self, item: int, level: int) -> bool:
+        """Whether ``item`` survives the level's sampling hash."""
+        if level == 0:
+            return True
+        return bool(mix64(item ^ self._sample_seeds[level]) & 1)
+
+    def _max_level(self, item: int) -> int:
+        """Deepest level whose sampling prefix keeps ``item``."""
+        level = 0
+        while level + 1 < self.levels and self.sampled_at(item, level + 1):
+            level += 1
+        return level
+
+    def update(self, item: int, value: int = 1) -> None:
+        """Feed ``item`` to every level that samples it."""
+        if value < 1:
+            raise ValueError("UnivMon is used on Cash Register streams")
+        self.volume += value
+        deepest = self._max_level(item)
+        for j in range(deepest + 1):
+            sketch = self.sketches[j]
+            sketch.update(item, value)
+            self.heaps[j].offer(item, sketch.query(item))
+
+    def query(self, item: int) -> float:
+        """Frequency estimate from the level-0 sketch."""
+        return self.sketches[0].query(item)
+
+    # ------------------------------------------------------------------
+    def gsum(self, g: Callable[[float], float]) -> float:
+        """Estimate sum_x G(f_x) by the UnivMon recursion."""
+        bottom = self.levels - 1
+        heap = self.heaps[bottom]
+        sketch = self.sketches[bottom]
+        y = sum(
+            g(est) for x in heap.items()
+            if (est := max(0.0, sketch.query(x))) > 0
+        )
+        for j in range(self.levels - 2, -1, -1):
+            sketch = self.sketches[j]
+            total = 0.0
+            for x in self.heaps[j].items():
+                est = max(0.0, sketch.query(x))
+                if est <= 0:
+                    continue
+                indicator = 1 if self.sampled_at(x, j + 1) else 0
+                total += g(est) * (1 - 2 * indicator)
+            y = 2 * y + total
+        return y
+
+    @property
+    def memory_bytes(self) -> int:
+        """All level sketches plus heap entries (16B per entry)."""
+        sketch_bytes = sum(s.memory_bytes for s in self.sketches)
+        heap_bytes = sum(16 * len(h.entries) for h in self.heaps)
+        return sketch_bytes + heap_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"UnivMon(w={self.w}, d={self.d}, levels={self.levels}, "
+                f"heap_size={self.heap_size})")

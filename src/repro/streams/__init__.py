@@ -1,0 +1,97 @@
+"""Stream model and workload generators.
+
+The paper evaluates on four real traces (CAIDA NY18 and CH16 backbone
+traces, the Univ2 data-center trace, and a YouTube view-count trace)
+plus synthetic Zipf streams.  The real traces are not redistributable,
+so this package provides *synthetic substitutes* whose frequency
+distributions match the published characteristics (flow counts, volume,
+skew); see DESIGN.md section 3 for the substitution argument.
+
+A trace is a :class:`Trace`: a numpy array of integer item ids in
+arrival order, interpreted as unit-weight Cash Register updates
+(``<x, 1>``), exactly as in the paper's evaluation.  Turnstile streams
+for change detection are built by splitting a trace into halves
+(:func:`split_halves`) and subtracting sketches.
+"""
+
+from repro.streams.model import Trace, split_halves
+from repro.streams.zipf import zipf_trace
+from repro.streams.file_io import load_trace, save_trace
+from repro.streams.traces import (
+    synthetic_caida,
+    synthetic_univ2,
+    synthetic_youtube,
+    dataset,
+    DATASET_NAMES,
+)
+from repro.streams.transforms import (
+    concat,
+    interleave,
+    relabel,
+    round_robin,
+    sample,
+    shuffle,
+    sorted_by_frequency,
+    split_fraction,
+    truncate_universe,
+)
+from repro.streams.stats import (
+    TraceProfile,
+    counters_per_flow,
+    describe,
+    fit_zipf_skew,
+    heavy_hitter_mass,
+    profile,
+)
+from repro.streams.tracefile import (
+    FiveTuple,
+    load_flows_as_trace,
+    read_flows,
+    write_flows,
+)
+from repro.streams.weighted import (
+    WeightedTrace,
+    from_unit_trace,
+    packet_size_weights,
+    turnstile_trace,
+)
+
+__all__ = [
+    "Trace",
+    "split_halves",
+    "zipf_trace",
+    "synthetic_caida",
+    "synthetic_univ2",
+    "synthetic_youtube",
+    "dataset",
+    "DATASET_NAMES",
+    "save_trace",
+    "load_trace",
+    # transforms
+    "shuffle",
+    "sorted_by_frequency",
+    "round_robin",
+    "interleave",
+    "concat",
+    "split_fraction",
+    "sample",
+    "relabel",
+    "truncate_universe",
+    # statistics
+    "TraceProfile",
+    "profile",
+    "describe",
+    "fit_zipf_skew",
+    "heavy_hitter_mass",
+    "counters_per_flow",
+    # trace files
+    "FiveTuple",
+    "write_flows",
+    "read_flows",
+    "load_flows_as_trace",
+    # weighted streams
+    "WeightedTrace",
+    "from_unit_trace",
+    "packet_size_weights",
+    "turnstile_trace",
+]

@@ -1,0 +1,93 @@
+"""The stream model: traces of unit-weight updates.
+
+Mirrors the paper's preliminaries (section III): a stream is a sequence
+of ``<x, v>`` updates; the evaluation uses unit-weight Cash Register
+streams (``v = 1``), with the Turnstile model exercised through sketch
+subtraction for change detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered stream of unit-weight item arrivals.
+
+    Attributes
+    ----------
+    items:
+        int64 array of item identifiers, in arrival order.
+    name:
+        Human-readable label (used in experiment tables).
+    """
+
+    items: np.ndarray
+    name: str = "trace"
+    _freq_cache: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self):
+        arr = np.ascontiguousarray(self.items, dtype=np.int64)
+        object.__setattr__(self, "items", arr)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items.tolist())
+
+    @property
+    def volume(self) -> int:
+        """Total stream volume N (= length for unit-weight streams)."""
+        return len(self.items)
+
+    def frequencies(self) -> dict[int, int]:
+        """Exact frequency vector as a dict (cached)."""
+        if "freq" not in self._freq_cache:
+            values, counts = np.unique(self.items, return_counts=True)
+            self._freq_cache["freq"] = dict(
+                zip(values.tolist(), counts.tolist())
+            )
+        return self._freq_cache["freq"]
+
+    def distinct_count(self) -> int:
+        """Number of distinct items (F0)."""
+        return len(self.frequencies())
+
+    def moment(self, p: float) -> float:
+        """The p'th frequency moment F_p = sum |f_x|^p (F_0 for p=0)."""
+        counts = np.fromiter(self.frequencies().values(), dtype=np.float64)
+        if p == 0:
+            return float(len(counts))
+        return float(np.sum(counts ** p))
+
+    def l2(self) -> float:
+        """The L2 norm of the frequency vector."""
+        return self.moment(2.0) ** 0.5
+
+    def entropy(self) -> float:
+        """Empirical entropy of the item distribution, in bits."""
+        counts = np.fromiter(self.frequencies().values(), dtype=np.float64)
+        p = counts / counts.sum()
+        return float(-np.sum(p * np.log2(p)))
+
+    def head(self, n: int) -> "Trace":
+        """Prefix of the first ``n`` arrivals."""
+        return Trace(self.items[:n], name=f"{self.name}[:{n}]")
+
+
+def split_halves(trace: Trace) -> tuple[Trace, Trace]:
+    """Split a trace into two equal-length halves A and B.
+
+    Used by the change-detection experiments (Fig 15 c/d): the paper
+    "partition[s] the workload into two equal-length parts A and B,
+    sketch[es] each, and test[s] the NRMSE of the estimates of the
+    frequency changes between A and B".
+    """
+    mid = len(trace) // 2
+    a = Trace(trace.items[:mid], name=f"{trace.name}/A")
+    b = Trace(trace.items[mid:2 * mid], name=f"{trace.name}/B")
+    return a, b

@@ -1,0 +1,119 @@
+"""Trace statistics: the workload characteristics the paper reports.
+
+The substitution argument in DESIGN.md section 3 rests on matching the
+*published characteristics* of the paper's traces -- flow counts,
+volume, skew, heavy-hitter mass.  This module computes those
+characteristics from any :class:`~repro.streams.Trace`, so the
+synthetic substitutes can be validated (tests/test_streams.py) and so
+users can profile their own workloads before choosing a configuration
+(see ``examples/workload_profiling.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streams.model import Trace
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary statistics of one trace.
+
+    Attributes mirror the quantities the paper quotes when describing
+    its datasets (section VI "Datasets" and Fig 14's discussion).
+    """
+
+    name: str
+    volume: int              # N
+    distinct: int            # F0 (6.5M for NY18, 2.5M for CH16)
+    max_frequency: int       # the paper notes NY18's max ~= 551K
+    entropy_bits: float
+    zipf_skew: float         # fitted alpha
+    top_decile_mass: float   # volume share of the top 10% of flows
+    singleton_fraction: float  # flows seen exactly once
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(label, formatted value) pairs for report printing."""
+        return [
+            ("volume N", f"{self.volume:,}"),
+            ("distinct flows F0", f"{self.distinct:,}"),
+            ("max flow frequency", f"{self.max_frequency:,}"),
+            ("entropy [bits]", f"{self.entropy_bits:.3f}"),
+            ("fitted Zipf skew", f"{self.zipf_skew:.3f}"),
+            ("top-10% flow mass", f"{self.top_decile_mass:.3f}"),
+            ("singleton flows", f"{self.singleton_fraction:.3f}"),
+        ]
+
+
+def fit_zipf_skew(frequencies: np.ndarray) -> float:
+    """Least-squares Zipf exponent from the rank-frequency plot.
+
+    Fits ``log f_(r) = c - alpha * log r`` over ranks covering the top
+    90% of the volume (the tail of a finite sample bends down and
+    would bias the fit; the paper's skews describe the head).
+    """
+    ordered = np.sort(frequencies)[::-1].astype(np.float64)
+    if len(ordered) < 2:
+        return 0.0
+    cumulative = np.cumsum(ordered)
+    cutoff = int(np.searchsorted(cumulative, 0.9 * cumulative[-1])) + 1
+    cutoff = max(cutoff, 2)
+    ranks = np.arange(1, cutoff + 1, dtype=np.float64)
+    log_r = np.log(ranks)
+    log_f = np.log(ordered[:cutoff])
+    slope, _intercept = np.polyfit(log_r, log_f, 1)
+    return float(-slope)
+
+
+def profile(trace: Trace) -> TraceProfile:
+    """Compute the full :class:`TraceProfile` of a trace."""
+    freq = np.fromiter(trace.frequencies().values(), dtype=np.int64)
+    if len(freq) == 0:
+        return TraceProfile(trace.name, 0, 0, 0, 0.0, 0.0, 0.0, 0.0)
+    ordered = np.sort(freq)[::-1]
+    top = max(1, len(ordered) // 10)
+    return TraceProfile(
+        name=trace.name,
+        volume=int(freq.sum()),
+        distinct=len(freq),
+        max_frequency=int(ordered[0]),
+        entropy_bits=trace.entropy(),
+        zipf_skew=fit_zipf_skew(freq),
+        top_decile_mass=float(ordered[:top].sum() / freq.sum()),
+        singleton_fraction=float(np.count_nonzero(freq == 1) / len(freq)),
+    )
+
+
+def heavy_hitter_mass(trace: Trace, phi: float) -> float:
+    """Volume share held by flows with frequency >= phi * N."""
+    freq = np.fromiter(trace.frequencies().values(), dtype=np.int64)
+    threshold = phi * freq.sum()
+    return float(freq[freq >= threshold].sum() / freq.sum())
+
+
+def counters_per_flow(memory_bytes: int, d: int, counter_bits: int,
+                      distinct: int) -> float:
+    """Counters-per-flow operating point of a sketch configuration.
+
+    The quantity that makes memory sweeps comparable across stream
+    scales: the paper's 2MB / 98M-packet operating points correspond to
+    the same counters-per-flow ratios as our scaled defaults (DESIGN.md
+    section 3).
+    """
+    if distinct <= 0:
+        raise ValueError("distinct must be positive")
+    counters = memory_bytes * 8 / counter_bits
+    return counters / distinct * (1.0 / d) * d  # total counters / flows
+
+
+def describe(trace: Trace) -> str:
+    """Human-readable profile block (used by the profiling example)."""
+    prof = profile(trace)
+    width = max(len(label) for label, _ in prof.rows())
+    lines = [f"trace: {prof.name}"]
+    lines += [f"  {label.ljust(width)}  {value}"
+              for label, value in prof.rows()]
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Synthetic substitutes for the paper's four real datasets.
+
+The paper's evaluation uses (section VI, "Datasets"):
+
+* **NY18** -- CAIDA equinix-newyork 2018-12-20 backbone trace,
+  98M packets over ~6.5M 5-tuple flows (mean flow size ~15, and "no
+  element ... has frequency larger than 5.62e-4 * N").
+* **CH16** -- CAIDA equinix-chicago 2016-04-06 backbone trace,
+  98M packets over ~2.5M flows (mean flow size ~39, heavier head).
+* **Univ2** -- a data-center trace (Benson et al., IMC 2010): lower
+  skew, where the paper finds SALSA's improvement "less noticeable".
+* **YouTube** -- Kaggle trending-video view counts, items sampled
+  i.i.d. by view-count share (the paper itself randomizes order).
+
+These traces are not redistributable, so we synthesize traces with
+matching *structure*: we draw an explicit flow-size vector from the
+fitted rank-size law, clip the head to the documented maximum flow
+share, materialize each flow `size` times, and shuffle.  This gives
+exact control over volume, flow count, and head heaviness -- the three
+quantities that drive counter-overflow (and hence SALSA-merge) dynamics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.model import Trace
+
+#: Published characteristics we match, expressed scale-free.
+#: mean_flow: volume / #flows.  skew: rank-size tail exponent.
+#: max_share: cap on the largest single flow as a fraction of volume.
+#: NOTE on max_share: the real traces' largest flows are tiny *shares*
+#: of 98M packets but huge *absolute* counts (NY18's cap of 5.62e-4
+#: corresponds to ~551K packets, i.e. a 20-bit counter).  At our scaled
+#: stream lengths (~1e5) the share is inflated so head flows stay past
+#: the 8-bit (255) and 13-bit (8191) thresholds that drive SALSA merges
+#: and ABC saturation -- preserving absolute overflow dynamics rather
+#: than relative shares.  See DESIGN.md section 3.
+_PROFILES = {
+    "ny18": {"mean_flow": 15.0, "skew": 1.05, "max_share": 0.08},
+    "ch16": {"mean_flow": 39.0, "skew": 1.15, "max_share": 0.12},
+    "univ2": {"mean_flow": 6.0, "skew": 0.70, "max_share": 0.01},
+    "youtube": {"mean_flow": 25.0, "skew": None, "max_share": 0.10},
+}
+
+DATASET_NAMES = ("ny18", "ch16", "univ2", "youtube")
+
+_cache: dict[tuple, Trace] = {}
+
+
+def _materialize(sizes: np.ndarray, length: int, seed: int, name: str) -> Trace:
+    """Turn a flow-size vector into a shuffled arrival sequence."""
+    sizes = sizes[sizes > 0]
+    total = int(sizes.sum())
+    if total > length:
+        # Trim deterministically from the tail (smallest flows first).
+        excess = total - length
+        order = np.argsort(sizes)
+        cut = np.cumsum(sizes[order])
+        drop = np.searchsorted(cut, excess, side="left") + 1
+        keep = np.ones(len(sizes), dtype=bool)
+        keep[order[:drop]] = False
+        sizes = sizes[keep]
+        total = int(sizes.sum())
+    if total < length:
+        # Pad with singleton mice flows to hit the exact volume.
+        sizes = np.concatenate([sizes, np.ones(length - total, dtype=np.int64)])
+
+    flow_ids = (np.arange(len(sizes), dtype=np.int64) * 0x9E3779B1 + 7) & 0x7FFFFFFF
+    items = np.repeat(flow_ids, sizes)
+    rng = np.random.default_rng(seed ^ 0xABCDEF)
+    rng.shuffle(items)
+    return Trace(items, name=name)
+
+
+def _rank_size_flows(length: int, mean_flow: float, skew: float,
+                     max_share: float, rng: np.random.Generator) -> np.ndarray:
+    """Flow sizes following a truncated rank-size (Zipf-like) law."""
+    n_flows = max(1, int(length / mean_flow))
+    ranks = np.arange(1, n_flows + 1, dtype=np.float64)
+    raw = ranks ** -skew
+    # Mild multiplicative noise so flow sizes are not perfectly smooth.
+    raw *= rng.lognormal(mean=0.0, sigma=0.25, size=n_flows)
+    cap = max(1.0, max_share * length)
+    # Water-fill: push the head's capped-off mass back into the body so
+    # the total volume stays at `length` and the mean flow size matches
+    # the published trace (otherwise the materializer pads with mice and
+    # the flow count drifts).
+    for _ in range(12):
+        raw *= length / raw.sum()
+        raw = np.minimum(raw, cap)
+        if raw.sum() >= 0.999 * length:
+            break
+    sizes = np.maximum(1, np.floor(raw)).astype(np.int64)
+    return sizes
+
+
+def synthetic_caida(length: int, variant: str = "ny18", seed: int = 0,
+                    cache: bool = True) -> Trace:
+    """Synthetic stand-in for the CAIDA NY18 / CH16 backbone traces."""
+    if variant not in ("ny18", "ch16"):
+        raise ValueError(f"variant must be 'ny18' or 'ch16', got {variant!r}")
+    key = ("caida", variant, length, seed)
+    if cache and key in _cache:
+        return _cache[key]
+    prof = _PROFILES[variant]
+    rng = np.random.default_rng(seed ^ hash(variant) & 0xFFFF)
+    sizes = _rank_size_flows(length, prof["mean_flow"], prof["skew"],
+                             prof["max_share"], rng)
+    trace = _materialize(sizes, length, seed, name=variant)
+    if cache:
+        _cache[key] = trace
+    return trace
+
+
+def synthetic_univ2(length: int, seed: int = 0, cache: bool = True) -> Trace:
+    """Synthetic stand-in for the Univ2 data-center trace (low skew)."""
+    key = ("univ2", length, seed)
+    if cache and key in _cache:
+        return _cache[key]
+    prof = _PROFILES["univ2"]
+    rng = np.random.default_rng(seed ^ 0x1234)
+    sizes = _rank_size_flows(length, prof["mean_flow"], prof["skew"],
+                             prof["max_share"], rng)
+    trace = _materialize(sizes, length, seed, name="univ2")
+    if cache:
+        _cache[key] = trace
+    return trace
+
+
+def synthetic_youtube(length: int, seed: int = 0, cache: bool = True) -> Trace:
+    """Synthetic stand-in for the YouTube view-count trace.
+
+    View counts across trending videos are close to log-normal; the
+    paper samples videos i.i.d. proportionally to view count, which we
+    mirror by materializing log-normal flow sizes.
+    """
+    key = ("youtube", length, seed)
+    if cache and key in _cache:
+        return _cache[key]
+    prof = _PROFILES["youtube"]
+    rng = np.random.default_rng(seed ^ 0x5678)
+    n_flows = max(1, int(length / prof["mean_flow"]))
+    sizes = rng.lognormal(mean=1.0, sigma=1.8, size=n_flows)
+    sizes *= length / sizes.sum()
+    cap = max(1.0, prof["max_share"] * length)
+    sizes = np.maximum(1, np.minimum(sizes, cap)).astype(np.int64)
+    trace = _materialize(sizes, length, seed, name="youtube")
+    if cache:
+        _cache[key] = trace
+    return trace
+
+
+def dataset(name: str, length: int, seed: int = 0) -> Trace:
+    """Fetch any of the four named synthetic datasets by name."""
+    if name in ("ny18", "ch16"):
+        return synthetic_caida(length, variant=name, seed=seed)
+    if name == "univ2":
+        return synthetic_univ2(length, seed=seed)
+    if name == "youtube":
+        return synthetic_youtube(length, seed=seed)
+    raise ValueError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")

@@ -1,0 +1,140 @@
+"""Trace transforms: reorder, subset, and combine streams.
+
+The paper's methodology manipulates streams in a few recurring ways --
+random arrival order for the YouTube/Zipf traces, equal-length halves
+for change detection, mergeable sub-streams for parallel sketching.
+This module collects those manipulations (plus adversarial orderings
+useful for stress tests) as pure functions ``Trace -> Trace``.
+
+All transforms are deterministic given their ``seed``, and never mutate
+their input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.model import Trace
+
+
+def shuffle(trace: Trace, seed: int = 0) -> Trace:
+    """Uniformly random arrival order (the paper's "random order")."""
+    rng = np.random.default_rng(seed)
+    items = trace.items.copy()
+    rng.shuffle(items)
+    return Trace(items, name=f"{trace.name}/shuffled")
+
+
+def sorted_by_frequency(trace: Trace, heavy_first: bool = True) -> Trace:
+    """All arrivals of the heaviest flow first (or last).
+
+    An adversarial order for SALSA: heavy-first forces every merge as
+    early as possible, so subsequent mice land in already-wide
+    counters; heavy-last defers all merges to the end of the stream.
+    Frequency estimates at the end of the stream are order-independent,
+    which the failure-mode tests assert with exactly this transform.
+    """
+    freq = trace.frequencies()
+    order = sorted(freq, key=lambda item: -freq[item] if heavy_first
+                   else freq[item])
+    items = np.concatenate([
+        np.full(freq[item], item, dtype=np.int64) for item in order
+    ]) if order else np.empty(0, dtype=np.int64)
+    tag = "heavy_first" if heavy_first else "heavy_last"
+    return Trace(items, name=f"{trace.name}/{tag}")
+
+
+def round_robin(trace: Trace) -> Trace:
+    """Maximally interleaved order: flows take turns, one arrival each.
+
+    The opposite adversary to :func:`sorted_by_frequency`: every
+    counter grows as slowly and evenly as possible, so merges happen
+    late and at similar times across the row.
+    """
+    freq = dict(trace.frequencies())
+    out = np.empty(len(trace), dtype=np.int64)
+    pos = 0
+    live = sorted(freq)
+    while live:
+        nxt = []
+        for item in live:
+            out[pos] = item
+            pos += 1
+            freq[item] -= 1
+            if freq[item]:
+                nxt.append(item)
+        live = nxt
+    return Trace(out, name=f"{trace.name}/round_robin")
+
+
+def interleave(a: Trace, b: Trace, seed: int = 0) -> Trace:
+    """Random interleaving of two traces preserving each one's order.
+
+    Models two measurement points whose packets arrive at one sketch:
+    sketching ``interleave(a, b)`` must equal merging the sketches of
+    ``a`` and ``b`` (the paper's s(A U B)), which the algebra tests
+    exercise.
+    """
+    rng = np.random.default_rng(seed)
+    take_a = np.zeros(len(a) + len(b), dtype=bool)
+    take_a[rng.choice(len(take_a), size=len(a), replace=False)] = True
+    out = np.empty(len(take_a), dtype=np.int64)
+    out[take_a] = a.items
+    out[~take_a] = b.items
+    return Trace(out, name=f"{a.name}+{b.name}")
+
+
+def concat(a: Trace, b: Trace) -> Trace:
+    """``a`` followed by ``b``."""
+    return Trace(np.concatenate([a.items, b.items]),
+                 name=f"{a.name}|{b.name}")
+
+
+def split_fraction(trace: Trace, fraction: float) -> tuple[Trace, Trace]:
+    """Split at ``fraction`` of the stream (generalizes split_halves)."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    cut = int(len(trace) * fraction)
+    return (Trace(trace.items[:cut], name=f"{trace.name}/A"),
+            Trace(trace.items[cut:], name=f"{trace.name}/B"))
+
+
+def sample(trace: Trace, probability: float, seed: int = 0) -> Trace:
+    """Keep each arrival independently with ``probability``.
+
+    The uniform-sampling baseline that NitroSketch's geometric row
+    sampling improves on; used by the ``ext_nitro`` bench.
+    """
+    if not 0.0 < probability <= 1.0:
+        raise ValueError(
+            f"probability must be in (0, 1], got {probability}")
+    rng = np.random.default_rng(seed)
+    keep = rng.random(len(trace)) < probability
+    return Trace(trace.items[keep],
+                 name=f"{trace.name}/p={probability}")
+
+
+def relabel(trace: Trace, seed: int = 0) -> Trace:
+    """Apply a random permutation to the item identifiers.
+
+    Frequencies are preserved; identities change.  Useful to verify
+    that nothing in the library depends on item-id structure (e.g.
+    contiguous ids from the Zipf generator).
+    """
+    rng = np.random.default_rng(seed)
+    values = np.unique(trace.items)
+    mapping = dict(zip(values.tolist(),
+                       rng.permutation(2 * len(values))[:len(values)].tolist()))
+    items = np.array([mapping[item] for item in trace.items.tolist()],
+                     dtype=np.int64)
+    return Trace(items, name=f"{trace.name}/relabelled")
+
+
+def truncate_universe(trace: Trace, keep: int) -> Trace:
+    """Drop arrivals of all but the ``keep`` most frequent items."""
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    freq = trace.frequencies()
+    kept = set(sorted(freq, key=lambda item: -freq[item])[:keep])
+    mask = np.isin(trace.items, np.fromiter(kept, dtype=np.int64))
+    return Trace(trace.items[mask], name=f"{trace.name}/top{keep}")

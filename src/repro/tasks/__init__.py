@@ -1,0 +1,40 @@
+"""Task layer: the applications the paper evaluates sketches on.
+
+* :mod:`heavy_hitters` -- heap-tracked heavy hitters and
+  threshold-phi size estimation (Figs 6, 14 d-f).
+* :mod:`topk` -- top-k recovery accuracy (Fig 15 a/b).
+* :mod:`count_distinct` -- Linear Counting from CMS rows, including
+  SALSA's merged-counter heuristic (Fig 14 a-c).
+* :mod:`entropy` / :mod:`moments` -- G-sum tasks over UnivMon (Fig 12).
+* :mod:`change_detection` -- difference-sketch estimation over split
+  streams (Fig 15 c/d).
+"""
+
+from repro.tasks.heavy_hitters import HeavyHitterTracker, heavy_hitter_are
+from repro.tasks.topk import run_topk, topk_accuracy, true_topk
+from repro.tasks.count_distinct import (
+    linear_counting_estimate,
+    distinct_count_baseline,
+    distinct_count_salsa,
+)
+from repro.tasks.entropy import entropy_estimate, true_entropy
+from repro.tasks.moments import moment_estimate
+from repro.tasks.change_detection import change_detection_nrmse
+from repro.tasks.hierarchical import HierarchicalHeavyHitters, dotted
+
+__all__ = [
+    "HierarchicalHeavyHitters",
+    "dotted",
+    "HeavyHitterTracker",
+    "heavy_hitter_are",
+    "run_topk",
+    "topk_accuracy",
+    "true_topk",
+    "linear_counting_estimate",
+    "distinct_count_baseline",
+    "distinct_count_salsa",
+    "entropy_estimate",
+    "true_entropy",
+    "moment_estimate",
+    "change_detection_nrmse",
+]

@@ -1,0 +1,35 @@
+"""Entropy estimation via UnivMon (Fig 12a).
+
+The empirical entropy of the item distribution is
+
+    H = log2(N) - (1/N) * sum_x f_x * log2(f_x)
+
+so with ``G(f) = f * log2(f)`` the G-sum recursion of UnivMon yields an
+entropy estimate directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+
+def true_entropy(truth: Mapping[int, int]) -> float:
+    """Exact entropy (bits) of the frequency vector."""
+    volume = sum(truth.values())
+    if volume == 0:
+        raise ValueError("empty stream has no entropy")
+    return math.log2(volume) - sum(
+        f * math.log2(f) for f in truth.values() if f > 0
+    ) / volume
+
+
+def entropy_estimate(univmon) -> float:
+    """Entropy from a (SALSA) UnivMon instance."""
+    n = univmon.volume
+    if n == 0:
+        raise ValueError("UnivMon has processed no updates")
+    y = univmon.gsum(lambda f: f * math.log2(f) if f > 1 else 0.0)
+    est = math.log2(n) - y / n
+    # Entropy is bounded in [0, log2 N]; clamp estimator noise.
+    return max(0.0, min(math.log2(n), est))

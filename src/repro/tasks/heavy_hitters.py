@@ -1,0 +1,98 @@
+"""Heavy hitters: heap tracking and threshold-phi size estimation.
+
+Two distinct uses in the paper:
+
+* **Tracking** (section III): keep a min-heap of the items with the
+  highest running estimates; on every arrival, query the item and
+  update the heap -- this finds the L1 (CMS/CUS) or L2 (CS) heavy
+  hitters online.
+* **Size estimation** (Figs 6a, 14 d-f, 19, 20): after the stream,
+  measure the ARE of the sketch's estimates restricted to items with
+  true frequency >= phi * N.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping
+
+
+class HeavyHitterTracker:
+    """Min-heap of the ``capacity`` items with largest estimates.
+
+    The standard Cash-Register heavy-hitter construction: on each
+    arrival, query the sketch and offer (item, estimate).
+
+    Examples
+    --------
+    >>> t = HeavyHitterTracker(capacity=2)
+    >>> for item, est in [(1, 5), (2, 9), (3, 1), (1, 12)]:
+    ...     t.offer(item, est)
+    >>> sorted(t.items())
+    [1, 2]
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._estimates: dict[int, float] = {}
+
+    def offer(self, item: int, estimate: float) -> None:
+        """Record a fresh estimate for an arriving item."""
+        est = self._estimates
+        if item in est:
+            est[item] = max(est[item], estimate)
+            return
+        if len(est) < self.capacity:
+            est[item] = estimate
+            return
+        victim = min(est, key=est.get)
+        if estimate > est[victim]:
+            del est[victim]
+            est[item] = estimate
+
+    def items(self) -> list[int]:
+        """Currently tracked items."""
+        return list(self._estimates)
+
+    def top(self, k: int) -> list[int]:
+        """The k tracked items with the largest estimates."""
+        return heapq.nlargest(k, self._estimates, key=self._estimates.get)
+
+    def estimate(self, item: int) -> float:
+        """Tracked estimate (KeyError if the item is not tracked)."""
+        return self._estimates[item]
+
+    def __len__(self) -> int:
+        return len(self._estimates)
+
+
+def heavy_hitters_true(truth: Mapping[int, int], phi: float) -> dict[int, int]:
+    """Items with true frequency >= phi * N and their frequencies."""
+    if not 0 < phi <= 1:
+        raise ValueError(f"phi must be in (0, 1], got {phi}")
+    volume = sum(truth.values())
+    cut = phi * volume
+    return {x: f for x, f in truth.items() if f >= cut}
+
+
+def heavy_hitter_are(query, truth: Mapping[int, int], phi: float) -> float:
+    """ARE of ``query``'s estimates over the true phi-heavy hitters.
+
+    This is the metric of Figs 6a, 14 d-f, 19 and 20; at
+    ``phi -> 0`` it degenerates into the all-flows ARE that Appendix B
+    shows is gamed by the "0" algorithm.
+    """
+    hitters = heavy_hitters_true(truth, phi)
+    if not hitters:
+        raise ValueError(f"no heavy hitters at phi={phi}")
+    return sum(abs(query(x) - f) / f for x, f in hitters.items()) / len(hitters)
+
+
+def heavy_hitter_aae(query, truth: Mapping[int, int], phi: float) -> float:
+    """AAE analogue of :func:`heavy_hitter_are` (Fig 20)."""
+    hitters = heavy_hitters_true(truth, phi)
+    if not hitters:
+        raise ValueError(f"no heavy hitters at phi={phi}")
+    return sum(abs(query(x) - f) for x, f in hitters.items()) / len(hitters)

@@ -1,0 +1,28 @@
+"""Frequency-moment estimation via UnivMon (Fig 12b).
+
+``F_p = sum_x f_x^p`` for ``0 <= p <= 2``: ``G(f) = f^p`` plugged into
+the G-sum recursion.  The paper observes element-size accuracy matters
+mostly for large p, while for ``p ~ 0`` cardinality dominates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def true_moment(truth: Mapping[int, int], p: float) -> float:
+    """Exact F_p of the frequency vector."""
+    if p < 0:
+        raise ValueError(f"p must be >= 0, got {p}")
+    if p == 0:
+        return float(len(truth))
+    return float(sum(f ** p for f in truth.values()))
+
+
+def moment_estimate(univmon, p: float) -> float:
+    """F_p estimate from a (SALSA) UnivMon instance."""
+    if p < 0:
+        raise ValueError(f"p must be >= 0, got {p}")
+    if p == 0:
+        return max(0.0, univmon.gsum(lambda f: 1.0))
+    return max(0.0, univmon.gsum(lambda f: f ** p))

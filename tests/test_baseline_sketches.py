@@ -1,0 +1,295 @@
+"""Tests for the baseline CMS / CUS / CS sketches."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing import HashFamily
+from repro.sketches import (
+    ConservativeUpdateSketch,
+    CountMinSketch,
+    CountSketch,
+    ZeroSketch,
+    median,
+    width_for_memory,
+)
+from repro.streams import zipf_trace
+
+
+class TestWidthForMemory:
+    def test_power_of_two(self):
+        w = width_for_memory(2 * 1024 * 1024, d=4, counter_bits=32)
+        assert w == 2**17  # the paper's 2MB baseline config
+
+    def test_overhead_shrinks_width(self):
+        plain = width_for_memory(1024, d=4, counter_bits=8)
+        with_overhead = width_for_memory(1024, d=4, counter_bits=8,
+                                         overhead_bits=1)
+        assert with_overhead <= plain
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            width_for_memory(1, d=4, counter_bits=32)
+
+    def test_salsa8_vs_baseline_ratio(self):
+        """s=8 + 1 overhead bit fits ~3.5x the counters of 32-bit."""
+        base = width_for_memory(64 * 1024, d=4, counter_bits=32)
+        salsa = width_for_memory(64 * 1024, d=4, counter_bits=8,
+                                 overhead_bits=1)
+        assert salsa // base == 2  # power-of-two rounding of 32/9
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even(self):
+        assert median([1.0, 2.0, 3.0, 10.0]) == 2.5
+
+    def test_single(self):
+        assert median([7.0]) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestCountMin:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(w=100)
+
+    def test_rejects_bad_counter_bits(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(w=64, counter_bits=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(w=64, counter_bits=65)
+
+    def test_never_underestimates(self):
+        cms = CountMinSketch(w=64, d=4, seed=1)
+        truth = {}
+        trace = zipf_trace(3000, 1.0, universe=500, seed=1)
+        for x in trace:
+            cms.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        for x, f in truth.items():
+            assert cms.query(x) >= f
+
+    def test_exact_when_no_collisions(self):
+        cms = CountMinSketch(w=1 << 14, d=4, seed=2)
+        for _ in range(10):
+            cms.update(123)
+        assert cms.query(123) == 10
+
+    def test_weighted_updates(self):
+        cms = CountMinSketch(w=1 << 10, d=4, seed=3)
+        cms.update(9, 500)
+        assert cms.query(9) >= 500
+
+    def test_saturation_of_small_counters(self):
+        cms = CountMinSketch(w=1 << 10, d=4, counter_bits=8, seed=4)
+        for _ in range(300):
+            cms.update(5)
+        assert cms.query(5) == 255  # saturated, not wrapped
+
+    def test_negative_update_strict_turnstile(self):
+        cms = CountMinSketch(w=1 << 10, d=4, seed=5)
+        cms.update(7, 10)
+        cms.update(7, -4)
+        assert cms.query(7) >= 6
+
+    def test_memory_bytes(self):
+        cms = CountMinSketch(w=1024, d=4, counter_bits=32)
+        assert cms.memory_bytes == 1024 * 4 * 4
+
+    def test_for_memory(self):
+        cms = CountMinSketch.for_memory(2 * 1024 * 1024, d=4)
+        assert cms.w == 2**17
+        assert cms.memory_bytes <= 2 * 1024 * 1024
+
+    def test_zero_counters(self):
+        cms = CountMinSketch(w=64, d=2, seed=6)
+        assert cms.zero_counters(0) == 64
+        cms.update(1)
+        assert cms.zero_counters(0) == 63
+
+    def test_merge(self):
+        fam = HashFamily(4, seed=7)
+        a = CountMinSketch(w=256, d=4, hash_family=fam)
+        b = CountMinSketch(w=256, d=4, hash_family=fam)
+        a.update(1, 5)
+        b.update(1, 3)
+        b.update(2, 2)
+        a.merge(b)
+        assert a.query(1) >= 8
+        assert a.query(2) >= 2
+
+    def test_subtract(self):
+        fam = HashFamily(4, seed=8)
+        a = CountMinSketch(w=256, d=4, hash_family=fam)
+        b = CountMinSketch(w=256, d=4, hash_family=fam)
+        a.update(1, 10)
+        b.update(1, 4)  # B subset of A
+        a.subtract(b)
+        assert a.query(1) >= 6
+
+    def test_merge_requires_shared_hashes(self):
+        a = CountMinSketch(w=64, d=4, seed=1)
+        b = CountMinSketch(w=64, d=4, seed=2)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_requires_same_shape(self):
+        fam = HashFamily(4, seed=9)
+        a = CountMinSketch(w=64, d=4, hash_family=fam)
+        b = CountMinSketch(w=128, d=4, hash_family=fam)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestConservativeUpdate:
+    def test_rejects_non_positive_updates(self):
+        cus = ConservativeUpdateSketch(w=64, d=4)
+        with pytest.raises(ValueError):
+            cus.update(1, 0)
+        with pytest.raises(ValueError):
+            cus.update(1, -1)
+
+    def test_never_underestimates(self):
+        cus = ConservativeUpdateSketch(w=64, d=4, seed=1)
+        truth = {}
+        for x in zipf_trace(3000, 1.0, universe=500, seed=1):
+            cus.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        for x, f in truth.items():
+            assert cus.query(x) >= f
+
+    def test_dominated_by_cms(self):
+        """CUS estimates are sandwiched: f_x <= CUS <= CMS (section III)."""
+        fam = HashFamily(4, seed=2)
+        cms = CountMinSketch(w=64, d=4, hash_family=fam)
+        cus = ConservativeUpdateSketch(w=64, d=4, hash_family=fam)
+        truth = {}
+        for x in zipf_trace(5000, 0.9, universe=800, seed=2):
+            cms.update(x)
+            cus.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        for x, f in truth.items():
+            assert f <= cus.query(x) <= cms.query(x)
+
+    def test_strictly_better_than_cms_in_aggregate(self):
+        fam = HashFamily(4, seed=3)
+        cms = CountMinSketch(w=128, d=4, hash_family=fam)
+        cus = ConservativeUpdateSketch(w=128, d=4, hash_family=fam)
+        truth = {}
+        for x in zipf_trace(20_000, 1.0, universe=5_000, seed=3):
+            cms.update(x)
+            cus.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        cms_err = sum(cms.query(x) - f for x, f in truth.items())
+        cus_err = sum(cus.query(x) - f for x, f in truth.items())
+        assert cus_err < cms_err
+
+    def test_weighted_updates(self):
+        cus = ConservativeUpdateSketch(w=1 << 10, d=4, seed=4)
+        cus.update(9, 500)
+        assert cus.query(9) >= 500
+
+    def test_saturation(self):
+        cus = ConservativeUpdateSketch(w=1 << 10, d=4, counter_bits=4, seed=5)
+        for _ in range(100):
+            cus.update(5)
+        assert cus.query(5) == 15
+
+    def test_for_memory(self):
+        cus = ConservativeUpdateSketch.for_memory(64 * 1024)
+        assert cus.memory_bytes <= 64 * 1024
+
+
+class TestCountSketch:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            CountSketch(w=3)
+
+    def test_single_item_exact(self):
+        cs = CountSketch(w=1 << 12, d=5, seed=1)
+        for _ in range(7):
+            cs.update(99)
+        assert cs.query(99) == 7
+
+    def test_turnstile_deletions(self):
+        cs = CountSketch(w=1 << 12, d=5, seed=2)
+        cs.update(5, 10)
+        cs.update(5, -10)
+        assert cs.query(5) == 0
+
+    def test_negative_frequencies_supported(self):
+        cs = CountSketch(w=1 << 12, d=5, seed=3)
+        cs.update(5, -8)
+        assert cs.query(5) == -8
+
+    def test_roughly_unbiased(self):
+        """Mean signed error over many items should be near zero."""
+        cs = CountSketch(w=256, d=5, seed=4)
+        truth = {}
+        for x in zipf_trace(20_000, 0.8, universe=3_000, seed=4):
+            cs.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        errors = [cs.query(x) - f for x, f in truth.items()]
+        mean_err = sum(errors) / len(errors)
+        assert abs(mean_err) < 5.0
+
+    def test_merge_and_subtract(self):
+        fam = HashFamily(5, seed=5)
+        a = CountSketch(w=1 << 12, d=5, hash_family=fam)
+        b = CountSketch(w=1 << 12, d=5, hash_family=fam)
+        a.update(1, 6)
+        b.update(1, 2)
+        b.update(2, 9)
+        a.subtract(b)
+        assert a.query(1) == 4
+        assert a.query(2) == -9
+
+    def test_row_estimate(self):
+        cs = CountSketch(w=1 << 12, d=5, seed=6)
+        cs.update(77, 13)
+        assert cs.row_estimate(77, 0) == 13
+
+    def test_for_memory(self):
+        cs = CountSketch.for_memory(int(2.5 * 1024 * 1024), d=5)
+        assert cs.w == 2**17  # the paper's 2.5MB CS config
+
+
+class TestZeroSketch:
+    def test_always_zero(self):
+        z = ZeroSketch()
+        z.update(1)
+        z.update(1, 100)
+        assert z.query(1) == 0
+        assert z.memory_bytes == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=300))
+def test_cms_overestimate_property(items):
+    """CMS never under-estimates any item, for any stream."""
+    cms = CountMinSketch(w=16, d=3, seed=0)
+    truth = {}
+    for x in items:
+        cms.update(x)
+        truth[x] = truth.get(x, 0) + 1
+    assert all(cms.query(x) >= f for x, f in truth.items())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=300))
+def test_cus_sandwich_property(items):
+    """f_x <= CUS(x) <= CMS(x) on any Cash Register stream."""
+    fam = HashFamily(3, seed=0)
+    cms = CountMinSketch(w=16, d=3, hash_family=fam)
+    cus = ConservativeUpdateSketch(w=16, d=3, hash_family=fam)
+    truth = {}
+    for x in items:
+        cms.update(x)
+        cus.update(x)
+        truth[x] = truth.get(x, 0) + 1
+    assert all(f <= cus.query(x) <= cms.query(x) for x, f in truth.items())

@@ -1,0 +1,109 @@
+"""Tests for the top-level toolkit CLI (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import SKETCHES, _parse_memory, main
+
+
+@pytest.fixture
+def npz_trace(tmp_path):
+    path = str(tmp_path / "t.npz")
+    assert main(["generate", "zipf", path,
+                 "--length", "3000", "--skew", "1.1",
+                 "--universe", "1000", "--seed", "3"]) == 0
+    return path
+
+
+class TestParseMemory:
+    def test_plain_bytes(self):
+        assert _parse_memory("4096") == 4096
+
+    def test_kilobytes(self):
+        assert _parse_memory("64K") == 64 * 1024
+        assert _parse_memory("64k") == 64 * 1024
+
+    def test_megabytes(self):
+        assert _parse_memory("2M") == 2 * 1024 * 1024
+
+    def test_fractional(self):
+        assert _parse_memory("0.5K") == 512
+
+
+class TestGenerate:
+    def test_zipf_npz(self, tmp_path, capsys):
+        path = str(tmp_path / "z.npz")
+        assert main(["generate", "zipf", path, "--length", "3000"]) == 0
+        assert "3,000 updates" in capsys.readouterr().out
+
+    def test_dataset_flows(self, tmp_path, capsys):
+        path = str(tmp_path / "t.flows")
+        assert main(["generate", "ny18", path, "--length", "2000"]) == 0
+        assert "2,000 updates" in capsys.readouterr().out
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", str(tmp_path / "x.npz")])
+
+
+class TestProfile:
+    def test_profile_npz(self, npz_trace, capsys):
+        assert main(["profile", npz_trace]) == 0
+        out = capsys.readouterr().out
+        assert "volume N" in out
+        assert "3,000" in out
+
+    def test_profile_flows(self, tmp_path, capsys):
+        path = str(tmp_path / "t.flows")
+        main(["generate", "zipf", path, "--length", "500"])
+        capsys.readouterr()
+        assert main(["profile", path]) == 0
+        assert "volume N" in capsys.readouterr().out
+
+
+class TestRun:
+    @pytest.mark.parametrize("sketch", sorted(SKETCHES))
+    def test_every_sketch_runs(self, npz_trace, capsys, sketch):
+        assert main(["run", npz_trace, "--sketch", sketch,
+                     "--memory", "16K"]) == 0
+        out = capsys.readouterr().out
+        assert "NRMSE" in out
+        assert sketch in out
+
+    def test_unknown_sketch_rejected(self, npz_trace):
+        with pytest.raises(SystemExit):
+            main(["run", npz_trace, "--sketch", "bogus"])
+
+
+class TestTopk:
+    def test_topk_finds_the_head(self, npz_trace, capsys):
+        assert main(["topk", npz_trace, "-k", "5",
+                     "--memory", "32K"]) == 0
+        out = capsys.readouterr().out
+        assert "top-5" in out
+        # 5 ranked rows printed.
+        rows = [line for line in out.splitlines()
+                if line.strip() and line.split()[0].isdigit()]
+        assert len(rows) == 5
+
+    def test_topk_estimates_close_to_truth(self, npz_trace, capsys):
+        main(["topk", npz_trace, "-k", "3", "--memory", "64K"])
+        out = capsys.readouterr().out
+        rows = [line.split() for line in out.splitlines()
+                if line.strip() and line.split()[0].isdigit()]
+        for _rank, _item, estimate, true in rows:
+            assert abs(float(estimate) - int(true)) <= max(
+                5, 0.2 * int(true))
+
+
+class TestFigureAlias:
+    def test_figure_runs_one(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "1")
+        monkeypatch.setenv("REPRO_SCALE", "0.02")   # ~2.6K updates
+        code = main(["figure", "fig5b"])
+        assert code == 0
+        assert "fig5b" in capsys.readouterr().out
+
+
+def test_module_entry_point():
+    """`python -m repro` resolves (smoke test, no subprocess)."""
+    import repro.__main__  # noqa: F401

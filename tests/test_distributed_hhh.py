@@ -1,0 +1,184 @@
+"""Tests for distributed sketching and hierarchical heavy hitters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DistributedSketch,
+    SalsaCountMin,
+    SalsaCountSketch,
+    shard,
+)
+from repro.tasks import HierarchicalHeavyHitters, dotted
+from repro.streams import zipf_trace
+
+
+class TestShard:
+    def test_rejects_bad_workers(self):
+        trace = zipf_trace(100, 1.0, universe=50, seed=1)
+        with pytest.raises(ValueError):
+            shard(trace, 0)
+
+    def test_rejects_bad_policy(self):
+        trace = zipf_trace(100, 1.0, universe=50, seed=1)
+        with pytest.raises(ValueError):
+            shard(trace, 2, policy="bogus")
+
+    def test_shards_partition_the_stream(self):
+        trace = zipf_trace(5_000, 1.0, universe=800, seed=2)
+        for policy in ("hash", "round_robin"):
+            shards = shard(trace, 4, policy=policy)
+            assert sum(len(s) for s in shards) == len(trace)
+            merged = {}
+            for piece in shards:
+                for item, f in piece.frequencies().items():
+                    merged[item] = merged.get(item, 0) + f
+            assert merged == trace.frequencies()
+
+    def test_hash_sharding_keeps_flows_together(self):
+        trace = zipf_trace(3_000, 1.0, universe=400, seed=3)
+        shards = shard(trace, 4, policy="hash", seed=3)
+        seen: dict[int, int] = {}
+        for worker, piece in enumerate(shards):
+            for item in piece.frequencies():
+                assert seen.setdefault(item, worker) == worker
+
+    def test_round_robin_balances(self):
+        trace = zipf_trace(4_000, 1.0, universe=400, seed=4)
+        shards = shard(trace, 4, policy="round_robin")
+        assert all(len(s) == 1_000 for s in shards)
+
+
+class TestDistributedSketch:
+    def _factory(self):
+        return lambda fam: SalsaCountMin(w=512, d=4, s=8, merge="sum",
+                                         hash_family=fam)
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            DistributedSketch(self._factory(), workers=0)
+
+    def test_feed_length_mismatch(self):
+        dist = DistributedSketch(self._factory(), workers=2, seed=5)
+        trace = zipf_trace(100, 1.0, universe=50, seed=5)
+        with pytest.raises(ValueError):
+            dist.feed(shard(trace, 3))
+
+    @pytest.mark.parametrize("policy", ["hash", "round_robin"])
+    def test_merge_equals_single_sketch(self, policy):
+        """Counter-for-counter: distributed == centralized (sum-merge)."""
+        trace = zipf_trace(20_000, 1.1, universe=2_000, seed=6)
+        dist = DistributedSketch(self._factory(), workers=4, d=4, seed=6)
+        dist.feed(shard(trace, 4, policy=policy, seed=6))
+        combined = dist.combined()
+
+        single = SalsaCountMin(w=512, d=4, s=8, merge="sum",
+                               hash_family=dist.family)
+        for x in trace:
+            single.update(x)
+
+        for row_c, row_s in zip(combined.rows, single.rows):
+            for j in range(row_s.w):
+                assert row_c.level_of(j) == row_s.level_of(j)
+                assert row_c.read(j) == row_s.read(j)
+
+    def test_count_sketch_workers(self):
+        """CS merging (signed, Turnstile) distributes too."""
+        trace = zipf_trace(5_000, 1.0, universe=500, seed=7)
+        dist = DistributedSketch(
+            lambda fam: SalsaCountSketch(w=512, d=5, hash_family=fam),
+            workers=3, d=5, seed=7)
+        dist.feed(shard(trace, 3, seed=7))
+        combined = dist.combined()
+        truth = trace.frequencies()
+        heavy = max(truth, key=truth.get)
+        assert combined.query(heavy) == pytest.approx(
+            truth[heavy], rel=0.25)
+
+
+class TestHierarchicalHeavyHitters:
+    def _hhh(self, w=2048):
+        return HierarchicalHeavyHitters(
+            lambda lvl: SalsaCountMin(w=w, d=4, s=8, seed=lvl))
+
+    def test_rejects_bad_levels(self):
+        factory = lambda lvl: SalsaCountMin(w=64, d=2, seed=lvl)
+        with pytest.raises(ValueError):
+            HierarchicalHeavyHitters(factory, levels=())
+        with pytest.raises(ValueError):
+            HierarchicalHeavyHitters(factory, levels=(16, 8))
+        with pytest.raises(ValueError):
+            HierarchicalHeavyHitters(factory, levels=(8, 128))
+
+    def test_rejects_bad_phi(self):
+        with pytest.raises(ValueError):
+            self._hhh(64).query(phi=0.0)
+
+    def test_single_flow_full_chain(self):
+        hhh = self._hhh()
+        for _ in range(100):
+            hhh.update(0x0A010203)
+        chain = hhh.query(phi=0.9)
+        assert [(p, b) for p, b, _ in chain] == [
+            (0x0A000000, 8), (0x0A010000, 16),
+            (0x0A010200, 24), (0x0A010203, 32)]
+
+    def test_aggregated_prefix_without_heavy_leaf(self):
+        """64 cold /32s under one /24 make the /24 heavy."""
+        hhh = self._hhh()
+        base = 0xC0A80100   # 192.168.1.0/24
+        for host in range(64):
+            for _ in range(4):
+                hhh.update(base | host)
+        for _ in range(256):
+            hhh.update(0x08080808)   # competing traffic
+        found = {(p, b) for p, b, _ in hhh.query(phi=0.3)}
+        assert (base, 24) in found
+        # No single host clears 30%.
+        assert not any(b == 32 and p != 0x08080808 for p, b in found)
+
+    def test_no_false_negatives(self):
+        """Over-estimating sketches never prune a truly heavy prefix."""
+        hhh = self._hhh(w=256)   # small sketches: lots of noise
+        trace = zipf_trace(5_000, 1.2, universe=1_000, seed=8)
+        truth_by_level: dict[int, dict[int, int]] = {
+            bits: {} for bits in hhh.levels}
+        for x in trace:
+            key = int(x) & 0xFFFFFFFF
+            hhh.update(key)
+            for bits in hhh.levels:
+                prefix = key >> (32 - bits) << (32 - bits)
+                truth_by_level[bits][prefix] = \
+                    truth_by_level[bits].get(prefix, 0) + 1
+        phi = 0.05
+        reported = {(p, b) for p, b, _ in hhh.query(phi)}
+        for bits, counts in truth_by_level.items():
+            for prefix, f in counts.items():
+                if f >= phi * len(trace):
+                    assert (prefix, bits) in reported
+
+    def test_memory_sums_levels(self):
+        hhh = self._hhh(w=256)
+        assert hhh.memory_bytes == sum(
+            s.memory_bytes for s in hhh.sketches)
+
+
+class TestDotted:
+    def test_formats_cidr(self):
+        assert dotted(0x0A010200, 24) == "10.1.2.0/24"
+        assert dotted(0xC0A80000, 16) == "192.168.0.0/16"
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+                min_size=1, max_size=150),
+       st.integers(min_value=1, max_value=6))
+def test_shard_partition_property(items, workers):
+    import numpy as np
+
+    from repro.streams import Trace
+
+    trace = Trace(np.array(items, dtype=np.int64))
+    shards = shard(trace, workers, policy="hash", seed=1)
+    assert sum(len(s) for s in shards) == len(items)

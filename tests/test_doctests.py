@@ -1,0 +1,74 @@
+"""Run the doctests embedded in the library's docstrings.
+
+Every public class carries a worked example; executing them keeps the
+documentation honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.bitvec.bitarray
+import repro.bitvec.bitmap
+import repro.core.layout
+import repro.core.compact
+import repro.core.row
+import repro.core.tango
+import repro.core.serialize
+import repro.metrics.errors
+import repro.sketches.count_min
+import repro.sketches.conservative_update
+import repro.sketches.count_sketch
+import repro.sketches.spacesaving
+import repro.sketches.morris
+import repro.sketches.nitrosketch
+import repro.sketches.rcs
+import repro.sketches.hyperloglog
+import repro.sketches.augmented
+import repro.sketches.cuckoo_counter
+import repro.sketches.elastic
+import repro.sketches.counter_tree
+import repro.core.lp_sampler
+import repro.core.windowed
+import repro.core.distributed
+import repro.hashing.tabulation
+import repro.tasks.heavy_hitters
+import repro.tasks.hierarchical
+
+_MODULES = [
+    repro,
+    repro.bitvec.bitarray,
+    repro.bitvec.bitmap,
+    repro.core.layout,
+    repro.core.compact,
+    repro.core.row,
+    repro.core.tango,
+    repro.core.serialize,
+    repro.metrics.errors,
+    repro.sketches.count_min,
+    repro.sketches.conservative_update,
+    repro.sketches.count_sketch,
+    repro.sketches.spacesaving,
+    repro.sketches.morris,
+    repro.sketches.nitrosketch,
+    repro.sketches.rcs,
+    repro.sketches.hyperloglog,
+    repro.sketches.augmented,
+    repro.sketches.cuckoo_counter,
+    repro.sketches.elastic,
+    repro.sketches.counter_tree,
+    repro.core.lp_sampler,
+    repro.core.windowed,
+    repro.core.distributed,
+    repro.hashing.tabulation,
+    repro.tasks.heavy_hitters,
+    repro.tasks.hierarchical,
+]
+
+
+@pytest.mark.parametrize("module", _MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

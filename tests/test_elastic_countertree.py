@@ -1,0 +1,168 @@
+"""Tests for Elastic Sketch and Counter Tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import CounterTree, ElasticSketch
+from repro.streams import zipf_trace
+
+
+def exact_counts(trace):
+    truth = {}
+    for x in trace:
+        truth[x] = truth.get(x, 0) + 1
+    return truth
+
+
+class TestElasticSketch:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            ElasticSketch(heavy_buckets=100)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ElasticSketch(heavy_buckets=64).update(1, 0)
+
+    def test_lone_flow_exact(self):
+        es = ElasticSketch(heavy_buckets=1 << 8, seed=1)
+        for _ in range(500):
+            es.update(3)
+        assert es.query(3) == 500
+
+    def test_unseen_flow_zero_or_noise(self):
+        es = ElasticSketch(heavy_buckets=1 << 8, light_memory=1 << 12, seed=2)
+        for _ in range(100):
+            es.update(3)
+        assert es.query(999) == 0
+
+    def test_never_underestimates_heavy_resident(self):
+        """A flow that stays resident with flag=False is exact; with
+        flag=True it is exact-or-over (light part adds collisions)."""
+        es = ElasticSketch(heavy_buckets=1 << 6, light_memory=1 << 12, seed=3)
+        trace = list(zipf_trace(10_000, 1.2, universe=2_000, seed=3))
+        truth = exact_counts(trace)
+        for x in trace:
+            es.update(x)
+        for item, count in es.heavy_entries()[:10]:
+            # Resident count never exceeds the flow's true frequency.
+            assert count <= truth[item]
+
+    def test_ostracism_promotes_the_persistent_flow(self):
+        """A flow arriving 10x more often than the resident eventually
+        takes the bucket."""
+        es = ElasticSketch(heavy_buckets=2, seed=0)
+        # Two items colliding in one bucket (buckets=2 makes that likely;
+        # find a colliding pair first).
+        a, b = None, None
+        bucket_of = lambda x: es._bucket_of(x)
+        for cand in range(100):
+            if a is None:
+                a = cand
+            elif bucket_of(cand) is bucket_of(a):
+                b = cand
+                break
+        assert b is not None
+        es.update(a)                      # a resident with count 1
+        for _ in range(20):
+            es.update(b)                  # b outvotes a (lambda=8)
+        assert es._bucket_of(b).key == b  # ostracism happened
+        assert es.query(b) >= 20          # flagged: heavy + light
+        assert es.query(a) >= 1           # a's count was folded to light
+
+    def test_volume_conserved_across_parts(self):
+        es = ElasticSketch(heavy_buckets=1 << 4, light_memory=1 << 14, seed=4)
+        trace = list(zipf_trace(3_000, 1.0, universe=500, seed=4))
+        for x in trace:
+            es.update(x)
+        heavy_volume = sum(count for _item, count in es.heavy_entries())
+        # d=1, 8-bit light CMS: its single row sums to the light volume
+        # (barring saturation, absent at this scale/width).
+        light_volume = sum(es.light._rows[0]) if hasattr(es.light, "_rows") \
+            else es.n - heavy_volume
+        assert heavy_volume <= es.n
+
+    def test_memory_model(self):
+        es = ElasticSketch(heavy_buckets=1 << 8, light_memory=1 << 12)
+        assert es.memory_bytes == (1 << 8) * 17 + es.light.memory_bytes
+
+
+class TestCounterTree:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            CounterTree(w=100)
+        with pytest.raises(ValueError):
+            CounterTree(w=64, degree=3)
+        with pytest.raises(ValueError):
+            CounterTree(w=64, s=0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CounterTree(w=64).update(1, 0)
+
+    def test_small_count_stays_in_leaf(self):
+        ct = CounterTree(w=1 << 8, s=4, d=1, seed=1)
+        for _ in range(10):
+            ct.update(5)
+        assert ct.query(5) >= 10
+
+    def test_carry_into_parent(self):
+        """A flow past 2^s - 1 must carry and still be recoverable."""
+        ct = CounterTree(w=1 << 10, s=4, degree=8, d=2, seed=2)
+        ct.update(5, 1000)
+        assert ct.query(5) >= 1000
+
+    def test_never_underestimates(self):
+        ct = CounterTree(w=1 << 10, s=4, degree=8, d=2, seed=3)
+        trace = list(zipf_trace(5_000, 1.0, universe=1_000, seed=3))
+        truth = exact_counts(trace)
+        for x in trace:
+            ct.update(x)
+        for item, f in truth.items():
+            assert ct.query(item) >= f
+
+    def test_sibling_sharing_inflates_estimates(self):
+        """Two heavy flows under one parent pollute each other through
+        the shared parent -- the design's noise source."""
+        ct = CounterTree(w=8, s=4, degree=8, d=1, seed=0)
+        # With 8 leaves and degree 8 there is exactly one parent.
+        ct.update(1, 500)
+        ct.update(2, 500)
+        # Each flow's estimate includes the other's carries.
+        assert ct.query(1) > 500
+        assert ct.query(2) > 500
+
+    def test_memory_model(self):
+        ct = CounterTree(w=1 << 10, s=4, degree=8, d=2)
+        bits = 2 * ((1 << 10) * 4 + (1 << 7) * 8)
+        assert ct.memory_bytes == (bits + 7) // 8
+
+    def test_saturation_counted(self):
+        ct = CounterTree(w=2, s=1, degree=2, d=1, seed=4)
+        ct.update(1, 10_000)
+        assert ct.saturations > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=40),
+                min_size=1, max_size=300))
+def test_counter_tree_overestimate_property(items):
+    ct = CounterTree(w=1 << 6, s=4, degree=4, d=2, seed=9)
+    truth = {}
+    for x in items:
+        ct.update(x)
+        truth[x] = truth.get(x, 0) + 1
+    for item, f in truth.items():
+        assert ct.query(item) >= f
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=40),
+                min_size=1, max_size=300))
+def test_elastic_total_volume_property(items):
+    es = ElasticSketch(heavy_buckets=1 << 4, light_memory=1 << 12, seed=9)
+    for x in items:
+        es.update(x)
+    assert es.n == len(items)
+    heavy = sum(count for _item, count in es.heavy_entries())
+    assert heavy <= len(items)

@@ -1,0 +1,189 @@
+"""Tests for the SALSA extensions: Lp samplers and windowed sketching."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LpSampler,
+    SalsaCountMin,
+    WindowedSketch,
+    l1_sampler,
+    l2_sampler,
+)
+from repro.sketches import CountMinSketch
+from repro.streams import zipf_trace
+
+
+class TestLpSamplerApi:
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            LpSampler(p=0)
+        with pytest.raises(ValueError):
+            LpSampler(p=2.5)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            LpSampler(resolution=3)
+
+    def test_rejects_bad_candidates(self):
+        with pytest.raises(ValueError):
+            LpSampler(candidates=0)
+
+    def test_empty_sampler_returns_none(self):
+        assert LpSampler().sample() is None
+
+    def test_single_item_always_sampled(self):
+        sampler = l2_sampler(w=256, seed=1)
+        for _ in range(50):
+            sampler.update(7)
+        assert sampler.sample() == 7
+
+    def test_convenience_constructors(self):
+        assert l1_sampler().p == 1.0
+        assert l2_sampler().p == 2.0
+
+    def test_frequency_estimate_tracks_truth(self):
+        sampler = l2_sampler(w=1024, seed=2)
+        for _ in range(1_000):
+            sampler.update(3)
+        assert sampler.frequency_estimate(3) == pytest.approx(1_000, rel=0.05)
+
+    def test_turnstile_updates(self):
+        sampler = l1_sampler(w=1024, seed=3)
+        sampler.update(5, 100)
+        sampler.update(5, -40)
+        assert sampler.frequency_estimate(5) == pytest.approx(60, rel=0.1)
+
+    def test_memory_accounts_for_heap(self):
+        sampler = LpSampler(w=256, candidates=32)
+        assert sampler.memory_bytes == sampler.sketch.memory_bytes + 32 * 24
+
+
+class TestLpSamplerDistribution:
+    def test_l2_prefers_heavy_items_quadratically(self):
+        """Across independent samplers, item sampling rates must follow
+        f^2 / F2 much more closely than f / F1."""
+        freqs = {1: 60, 2: 30, 3: 10}
+        wins = collections.Counter()
+        trials = 150
+        for seed in range(trials):
+            sampler = l2_sampler(w=512, d=5, seed=seed, candidates=16)
+            for item, f in freqs.items():
+                sampler.update(item, f)
+            wins[sampler.sample()] += 1
+        f2 = sum(f * f for f in freqs.values())
+        expected_heavy = freqs[1] ** 2 / f2      # ~0.735
+        observed_heavy = wins[1] / trials
+        assert observed_heavy == pytest.approx(expected_heavy, abs=0.15)
+        # The heaviest item must win far more often than its L1 share.
+        assert observed_heavy > freqs[1] / 100 + 0.05
+
+    def test_l1_sampling_rate_close_to_l1_share(self):
+        freqs = {1: 50, 2: 30, 3: 20}
+        wins = collections.Counter()
+        trials = 150
+        for seed in range(trials):
+            sampler = l1_sampler(w=512, d=5, seed=seed, candidates=16)
+            for item, f in freqs.items():
+                sampler.update(item, f)
+            wins[sampler.sample()] += 1
+        observed = wins[1] / trials
+        assert observed == pytest.approx(0.5, abs=0.17)
+
+    def test_all_support_items_reachable(self):
+        """Even the lightest item must win sometimes under L1."""
+        freqs = {1: 5, 2: 3, 3: 2}
+        seen = set()
+        for seed in range(120):
+            sampler = l1_sampler(w=256, d=5, seed=seed)
+            for item, f in freqs.items():
+                sampler.update(item, f)
+            seen.add(sampler.sample())
+        assert seen == {1, 2, 3}
+
+
+class TestWindowedSketch:
+    def _factory(self, seed=1):
+        return lambda: SalsaCountMin(w=256, d=4, s=8, seed=seed)
+
+    def test_rejects_bad_epoch(self):
+        with pytest.raises(ValueError):
+            WindowedSketch(self._factory(), epoch=0)
+
+    def test_no_rotation_within_first_epoch(self):
+        win = WindowedSketch(self._factory(), epoch=100)
+        for _ in range(100):
+            win.update(1)
+        assert win.rotations == 0
+        assert win.query(1) >= 100
+
+    def test_rotation_preserves_previous_epoch(self):
+        win = WindowedSketch(self._factory(), epoch=50)
+        for _ in range(50):
+            win.update(1)
+        for _ in range(50):
+            win.update(2)
+        assert win.rotations == 1
+        assert win.query(1) >= 50      # previous epoch still counted
+        assert win.query(2) >= 50
+
+    def test_old_epochs_expire(self):
+        win = WindowedSketch(self._factory(), epoch=50)
+        for item in (1, 2, 3):
+            for _ in range(50):
+                win.update(item)
+        # Item 1's epoch is two rotations old: fully expired.
+        assert win.query(1) == 0
+        assert win.query(2) >= 50
+
+    def test_window_span_bounds(self):
+        win = WindowedSketch(self._factory(), epoch=10)
+        for i in range(25):
+            win.update(i)
+        lo, hi = win.window_span
+        assert 0 <= lo <= 10
+        assert hi <= 20
+
+    def test_works_with_baseline_sketch(self):
+        win = WindowedSketch(lambda: CountMinSketch(w=256, d=4, seed=2),
+                             epoch=20)
+        for _ in range(30):
+            win.update(9)
+        assert win.query(9) >= 30
+
+    def test_memory_counts_both_epochs(self):
+        win = WindowedSketch(self._factory(), epoch=10)
+        single = win.memory_bytes
+        for _ in range(15):
+            win.update(1)
+        assert win.memory_bytes == 2 * single
+
+    def test_query_current_epoch_only(self):
+        win = WindowedSketch(self._factory(), epoch=50)
+        for _ in range(50):
+            win.update(1)
+        for _ in range(10):
+            win.update(2)
+        assert win.query_current_epoch(1) == 0
+        assert win.query_current_epoch(2) >= 10
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=20),
+                min_size=1, max_size=300),
+       st.integers(min_value=1, max_value=60))
+def test_windowed_never_underestimates_window(items, epoch):
+    """CMS inside a window over-estimates any item's count within the
+    covered span (the last `lo..hi` updates)."""
+    win = WindowedSketch(lambda: SalsaCountMin(w=512, d=4, seed=3),
+                         epoch=epoch)
+    for x in items:
+        win.update(x)
+    lo, _hi = win.window_span
+    recent = items[len(items) - lo:] if lo else []
+    truth = collections.Counter(recent)
+    for item, f in truth.items():
+        assert win.query(item) >= f

@@ -1,0 +1,153 @@
+"""Tests for the metrics and statistics layer."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.metrics import (
+    OnArrivalCollector,
+    Summary,
+    aae,
+    are,
+    mean_ci,
+    mse,
+    nrmse,
+    relative_error,
+    rmse,
+)
+from repro.metrics.errors import final_errors
+from repro.metrics.stats import t_critical_95
+
+
+class TestScalarMetrics:
+    def test_mse(self):
+        assert mse([1, -1, 2]) == pytest.approx(2.0)
+
+    def test_rmse(self):
+        assert rmse([3, 4, 0, 0, 0]) == pytest.approx(math.sqrt(5.0))
+
+    def test_nrmse_default_normalizer(self):
+        assert nrmse([2, 2]) == pytest.approx(1.0)
+
+    def test_nrmse_explicit_normalizer(self):
+        assert nrmse([2, 2], n=4) == pytest.approx(0.5)
+
+    def test_empty_errors_rejected(self):
+        with pytest.raises(ValueError):
+            mse([])
+        with pytest.raises(ValueError):
+            nrmse([])
+
+    def test_aae(self):
+        est = {1: 12.0, 2: 5.0}
+        truth = {1: 10, 2: 5}
+        assert aae(est, truth) == pytest.approx(1.0)
+
+    def test_are(self):
+        est = {1: 12.0, 2: 5.0}
+        truth = {1: 10, 2: 5}
+        assert are(est, truth) == pytest.approx(0.1)
+
+    def test_aae_are_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            aae({}, {})
+        with pytest.raises(ValueError):
+            are({}, {})
+
+    def test_relative_error(self):
+        assert relative_error(11, 10) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_error(1, 0)
+
+    def test_final_errors(self):
+        est = {1: 11.0, 2: 8.0}
+        a, r = final_errors(lambda x: est[x], {1: 10, 2: 10})
+        assert a == pytest.approx(1.5)
+        assert r == pytest.approx(0.15)
+
+
+class TestOnArrivalCollector:
+    def test_perfect_estimator_zero_error(self):
+        c = OnArrivalCollector()
+        truth = {}
+        for item in [1, 2, 1, 1, 3, 2]:
+            c.observe(item, truth.get(item, 0))
+            truth[item] = truth.get(item, 0) + 1
+        assert c.nrmse() == 0.0
+        assert c.mse() == 0.0
+
+    def test_constant_overestimate(self):
+        c = OnArrivalCollector()
+        for _ in range(4):
+            # Estimator always answers true+3.
+            c.observe(9, c.true_frequencies.get(9, 0) + 3)
+        assert c.mse() == pytest.approx(9.0)
+        assert c.rmse() == pytest.approx(3.0)
+        assert c.nrmse() == pytest.approx(0.75)
+        assert c.mean_absolute() == pytest.approx(3.0)
+
+    def test_tracks_true_frequencies(self):
+        c = OnArrivalCollector()
+        for item in [5, 5, 7]:
+            c.observe(item, 0)
+        assert c.true_frequencies == {5: 2, 7: 1}
+
+    def test_empty_collector_rejected(self):
+        with pytest.raises(ValueError):
+            OnArrivalCollector().mse()
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=100))
+    def test_zero_estimator_nrmse_formula(self, items):
+        """Estimating 0 gives errors equal to the running true counts."""
+        c = OnArrivalCollector()
+        running = {}
+        expected_sq = 0.0
+        for item in items:
+            c.observe(item, 0)
+            t = running.get(item, 0)
+            expected_sq += t * t
+            running[item] = t + 1
+        assert c.mse() == pytest.approx(expected_sq / len(items))
+
+
+class TestStats:
+    def test_single_sample(self):
+        s = mean_ci([4.0])
+        assert s == Summary(mean=4.0, ci95=0.0, n=1)
+
+    def test_identical_samples(self):
+        s = mean_ci([2.0, 2.0, 2.0])
+        assert s.mean == 2.0
+        assert s.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_mean(self):
+        assert mean_ci([1.0, 2.0, 3.0]).mean == pytest.approx(2.0)
+
+    def test_t_table_matches_scipy(self):
+        for df in range(1, 31):
+            assert t_critical_95(df) == pytest.approx(
+                scipy_stats.t.ppf(0.975, df), abs=5e-3
+            )
+
+    def test_t_large_df_normal(self):
+        assert t_critical_95(1000) == pytest.approx(1.96, abs=0.01)
+
+    def test_t_invalid_df(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+    def test_ci_matches_scipy_sem(self):
+        samples = [1.0, 2.0, 4.0, 8.0, 9.0]
+        s = mean_ci(samples)
+        expected = scipy_stats.t.ppf(0.975, 4) * scipy_stats.sem(samples)
+        assert s.ci95 == pytest.approx(expected, rel=1e-2)
+
+    def test_str_formats(self):
+        assert str(mean_ci([1.0])) == "1"
+        assert "+/-" in str(mean_ci([1.0, 2.0]))

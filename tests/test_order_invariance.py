@@ -1,0 +1,90 @@
+"""Arrival-order invariance of sum-merge SALSA.
+
+With positive updates and sum-merging, a counter's value is monotone
+and always equals the exact total of its span, so whether it overflows
+-- and therefore the *final* layout and every final counter value --
+depends only on the frequency vector, not the arrival order.  The
+adversarial orderings in :mod:`repro.streams.transforms` (heavy-first,
+heavy-last, round-robin, shuffles) must all converge to bit-identical
+sketches.
+
+Max-merge sketches are *not* order-invariant (the merged value is the
+max at merge time); the tests pin the exact guarantee each mode has.
+"""
+
+import pytest
+
+from repro.core import SalsaCountMin
+from repro.hashing import HashFamily
+from repro.streams import (
+    round_robin,
+    shuffle,
+    sorted_by_frequency,
+    zipf_trace,
+)
+
+
+def row_state(sketch):
+    """Full observable state: (level, value) for every base slot."""
+    return [
+        [(row.level_of(j), row.read(j)) for j in range(row.w)]
+        for row in sketch.rows
+    ]
+
+
+def run(trace, merge: str):
+    sketch = SalsaCountMin(w=256, d=2, s=4, merge=merge,
+                           hash_family=HashFamily(2, seed=5))
+    for x in trace:
+        sketch.update(x)
+    return sketch
+
+
+@pytest.fixture(scope="module")
+def base_trace():
+    # Small s and w force plenty of merges.
+    return zipf_trace(20_000, 1.1, universe=2_000, seed=5)
+
+
+ORDERINGS = {
+    "shuffled": lambda t: shuffle(t, seed=1),
+    "reshuffled": lambda t: shuffle(t, seed=2),
+    "heavy_first": lambda t: sorted_by_frequency(t, heavy_first=True),
+    "heavy_last": lambda t: sorted_by_frequency(t, heavy_first=False),
+    "round_robin": round_robin,
+}
+
+
+class TestSumMergeInvariance:
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_final_state_identical(self, base_trace, name):
+        reference = run(base_trace, merge="sum")
+        permuted = run(ORDERINGS[name](base_trace), merge="sum")
+        assert row_state(permuted) == row_state(reference)
+
+    def test_queries_therefore_identical(self, base_trace):
+        reference = run(base_trace, merge="sum")
+        permuted = run(shuffle(base_trace, seed=9), merge="sum")
+        for item in list(base_trace.frequencies())[:200]:
+            assert reference.query(item) == permuted.query(item)
+
+
+class TestMaxMergeOrderSensitivity:
+    def test_estimates_still_dominate_truth_in_every_order(self, base_trace):
+        """Max-merge values may differ across orders, but the
+        over-estimation guarantee (Thm V.2) holds in all of them."""
+        truth = base_trace.frequencies()
+        for name, perm in ORDERINGS.items():
+            sketch = run(perm(base_trace), merge="max")
+            for item, f in list(truth.items())[:300]:
+                assert sketch.query(item) >= f, (name, item)
+
+    def test_max_merge_below_sum_merge_in_every_order(self, base_trace):
+        """Per-query: max-merge estimates never exceed sum-merge ones
+        (the reason Fig 5 prefers max for Cash Register streams)."""
+        for name, perm in ORDERINGS.items():
+            trace = perm(base_trace)
+            by_max = run(trace, merge="max")
+            by_sum = run(trace, merge="sum")
+            for item in list(base_trace.frequencies())[:300]:
+                assert by_max.query(item) <= by_sum.query(item), (name, item)

@@ -1,0 +1,484 @@
+"""Tests for the related-work algorithms (Space-Saving, Misra-Gries,
+Morris, NitroSketch, RCS, HyperLogLog, Augmented Sketch, Cuckoo Counter)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import (
+    AugmentedSketch,
+    CountMinSketch,
+    CuckooCounter,
+    HyperLogLog,
+    MisraGries,
+    MorrisCountMin,
+    MorrisCounter,
+    NitroSketch,
+    RandomizedCounterSharing,
+    SpaceSaving,
+)
+from repro.core import SalsaCountMin
+from repro.streams import zipf_trace
+
+
+def exact_counts(trace):
+    truth = {}
+    for x in trace:
+        truth[x] = truth.get(x, 0) + 1
+    return truth
+
+
+class TestSpaceSaving:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(k=0)
+
+    def test_rejects_negative_updates(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(k=4).update(1, -1)
+
+    def test_exact_when_under_capacity(self):
+        ss = SpaceSaving(k=10)
+        for item in [1, 1, 2, 3, 3, 3]:
+            ss.update(item)
+        assert ss.query(3) == 3
+        assert ss.query(1) == 2
+        assert ss.query(99) == 0
+
+    def test_overestimation_bounded_by_n_over_k(self):
+        k = 64
+        ss = SpaceSaving(k=k)
+        trace = list(zipf_trace(20_000, 1.2, universe=5_000, seed=1))
+        truth = exact_counts(trace)
+        for x in trace:
+            ss.update(x)
+        for item, est, _err in ss.entries():
+            f = truth.get(item, 0)
+            assert f <= est <= f + ss.n / k + 1
+
+    def test_guaranteed_is_lower_bound(self):
+        ss = SpaceSaving(k=16)
+        trace = list(zipf_trace(5_000, 1.0, universe=2_000, seed=2))
+        truth = exact_counts(trace)
+        for x in trace:
+            ss.update(x)
+        for item, _est, _err in ss.entries():
+            assert ss.guaranteed(item) <= truth.get(item, 0)
+
+    def test_finds_all_true_heavy_hitters(self):
+        """phi-HH with phi >= 1/k must all be monitored."""
+        ss = SpaceSaving(k=100)
+        trace = list(zipf_trace(30_000, 1.3, universe=10_000, seed=3))
+        truth = exact_counts(trace)
+        for x in trace:
+            ss.update(x)
+        phi = 0.02
+        hot = {item for item, f in truth.items() if f >= phi * len(trace)}
+        reported = {item for item, _est in ss.heavy_hitters(phi)}
+        assert hot <= reported
+
+    def test_weighted_updates(self):
+        ss = SpaceSaving(k=4)
+        ss.update(1, 10)
+        ss.update(2, 5)
+        ss.update(1, 3)
+        assert ss.query(1) == 13
+        assert ss.n == 18
+
+    def test_memory_is_capacity_based(self):
+        assert SpaceSaving(k=100).memory_bytes == 100 * 24
+
+
+class TestMisraGries:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            MisraGries(k=0)
+
+    def test_never_overestimates(self):
+        mg = MisraGries(k=32)
+        trace = list(zipf_trace(10_000, 1.1, universe=3_000, seed=4))
+        truth = exact_counts(trace)
+        for x in trace:
+            mg.update(x)
+        for item, est in mg.entries():
+            assert est <= truth.get(item, 0)
+
+    def test_undercount_bounded(self):
+        k = 64
+        mg = MisraGries(k=k)
+        trace = list(zipf_trace(20_000, 1.2, universe=5_000, seed=5))
+        truth = exact_counts(trace)
+        for x in trace:
+            mg.update(x)
+        for item, f in truth.items():
+            assert mg.query(item) >= f - len(trace) / (k + 1) - 1
+
+    def test_weighted_updates_decrement_correctly(self):
+        mg = MisraGries(k=2)
+        mg.update(1, 10)
+        mg.update(2, 10)
+        mg.update(3, 4)  # decrements everyone by 4
+        assert mg.query(1) == 6
+        assert mg.query(2) == 6
+        assert mg.query(3) == 0
+
+    def test_table_never_exceeds_k(self):
+        mg = MisraGries(k=8)
+        for x in zipf_trace(5_000, 0.8, universe=4_000, seed=6):
+            mg.update(x)
+            assert len(mg._table) <= 8
+
+
+class TestMorris:
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            MorrisCounter(base=1.0)
+
+    def test_zero_initially(self):
+        assert MorrisCounter().estimate() == 0
+
+    def test_unbiased_mean(self):
+        """Average of many Morris counters must be close to the truth."""
+        n, trials = 500, 200
+        rng = random.Random(7)
+        total = 0.0
+        for _ in range(trials):
+            c = MorrisCounter(base=2.0, bits=16, rng=rng)
+            c.add(n)
+            total += c.estimate()
+        assert total / trials == pytest.approx(n, rel=0.25)
+
+    def test_small_base_is_low_variance(self):
+        rng = random.Random(8)
+        c = MorrisCounter(base=1.02, bits=16, rng=rng)
+        c.add(2_000)
+        assert c.estimate() == pytest.approx(2_000, rel=0.2)
+
+    def test_saturation(self):
+        c = MorrisCounter(base=2.0, bits=2, rng=random.Random(9))
+        c.add(10_000)
+        assert c.saturated
+        assert c.exponent == 3
+
+    def test_rejects_negative_add(self):
+        with pytest.raises(ValueError):
+            MorrisCounter().add(-1)
+
+
+class TestMorrisCountMin:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            MorrisCountMin(w=100)
+
+    def test_rejects_nonpositive_updates(self):
+        with pytest.raises(ValueError):
+            MorrisCountMin(w=64).update(1, 0)
+
+    def test_estimates_track_truth(self):
+        sketch = MorrisCountMin(w=1 << 10, d=4, base=1.05, seed=10)
+        for _ in range(3_000):
+            sketch.update(1)
+        assert sketch.query(1) == pytest.approx(3_000, rel=0.35)
+
+    def test_memory_counts_registers_only(self):
+        sketch = MorrisCountMin(w=1 << 10, d=4, bits=8)
+        assert sketch.memory_bytes == 4 * (1 << 10)
+
+    def test_more_compact_than_32bit_cms(self):
+        morris = MorrisCountMin(w=1 << 12, d=4, bits=8)
+        cms = CountMinSketch(w=1 << 12, d=4, counter_bits=32)
+        assert morris.memory_bytes * 4 == cms.memory_bytes
+
+
+class TestNitroSketch:
+    def test_p_one_is_exact_count_sketch(self):
+        ns = NitroSketch(w=1 << 10, d=5, p=1.0, seed=11)
+        for _ in range(250):
+            ns.update(5)
+        assert ns.query(5) == 250.0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            NitroSketch(w=64, p=0.0)
+        with pytest.raises(ValueError):
+            NitroSketch(w=64, p=1.5)
+
+    def test_sampling_touches_fraction_of_rows(self):
+        ns = NitroSketch(w=1 << 10, d=5, p=0.1, seed=12)
+        for x in range(20_000):
+            ns.update(x & 1023)
+        expected = 20_000 * 5 * 0.1
+        assert ns.touches == pytest.approx(expected, rel=0.1)
+
+    def test_roughly_unbiased_for_heavy_item(self):
+        estimates = []
+        for seed in range(20):
+            ns = NitroSketch(w=1 << 12, d=5, p=0.25, seed=seed)
+            for _ in range(2_000):
+                ns.update(77)
+            for x in zipf_trace(2_000, 1.0, universe=500, seed=seed):
+                ns.update(x + 100)
+            estimates.append(ns.query(77))
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(2_000, rel=0.15)
+
+    def test_turnstile_deletions(self):
+        ns = NitroSketch(w=1 << 10, d=5, p=1.0, seed=13)
+        ns.update(9, 50)
+        ns.update(9, -20)
+        assert ns.query(9) == 30.0
+
+
+class TestRandomizedCounterSharing:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            RandomizedCounterSharing(m=100)
+        with pytest.raises(ValueError):
+            RandomizedCounterSharing(m=64, l=0)
+        with pytest.raises(ValueError):
+            RandomizedCounterSharing(m=64, l=65)
+
+    def test_rejects_nonpositive_updates(self):
+        with pytest.raises(ValueError):
+            RandomizedCounterSharing(m=64).update(1, 0)
+
+    def test_vector_sum_overestimates(self):
+        rcs = RandomizedCounterSharing(m=1 << 12, l=8, seed=14)
+        trace = list(zipf_trace(5_000, 1.0, universe=1_000, seed=14))
+        truth = exact_counts(trace)
+        for x in trace:
+            rcs.update(x)
+        for item, f in truth.items():
+            assert rcs.vector_sum(item) >= f
+
+    def test_csm_estimate_debiases(self):
+        """CSM estimate must be much closer to the truth than the raw sum."""
+        rcs = RandomizedCounterSharing(m=1 << 12, l=8, seed=15)
+        n = 50_000
+        for x in zipf_trace(n, 1.1, universe=10_000, seed=15):
+            rcs.update(x)
+        for _ in range(2_000):
+            rcs.update(42)
+        raw_err = abs(rcs.vector_sum(42) - 2_000)
+        csm_err = abs(rcs.query(42) - 2_000)
+        assert csm_err < raw_err
+
+    def test_single_counter_touched_per_update(self):
+        rcs = RandomizedCounterSharing(m=1 << 8, l=4, seed=16)
+        rcs.update(1, 7)
+        assert sum(rcs._pool) == 7
+        assert sum(1 for c in rcs._pool if c) == 1
+
+
+class TestHyperLogLog:
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=3)
+        with pytest.raises(ValueError):
+            HyperLogLog(p=19)
+
+    def test_empty_estimates_zero(self):
+        assert HyperLogLog(p=8).estimate() == 0.0
+
+    def test_duplicates_do_not_count(self):
+        hll = HyperLogLog(p=10, seed=17)
+        for _ in range(100):
+            hll.update(1)
+        assert hll.estimate() == pytest.approx(1, abs=0.5)
+
+    @pytest.mark.parametrize("true_count", [100, 5_000, 200_000])
+    def test_relative_error_within_expectation(self, true_count):
+        hll = HyperLogLog(p=12, seed=18)
+        for item in range(true_count):
+            hll.update(item)
+        rel = abs(hll.estimate() - true_count) / true_count
+        assert rel < 5 * 1.04 / math.sqrt(1 << 12)
+
+    def test_merge_is_union(self):
+        a = HyperLogLog(p=11, seed=19)
+        b = HyperLogLog(p=11, seed=19)
+        for item in range(0, 6_000):
+            a.update(item)
+        for item in range(3_000, 9_000):
+            b.update(item)
+        merged = a.merge(b)
+        assert merged.estimate() == pytest.approx(9_000, rel=0.1)
+
+    def test_merge_requires_matching_config(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=10, seed=1).merge(HyperLogLog(p=10, seed=2))
+        with pytest.raises(ValueError):
+            HyperLogLog(p=10, seed=1).merge(HyperLogLog(p=11, seed=1))
+
+    def test_memory_is_register_count(self):
+        assert HyperLogLog(p=10).memory_bytes == 1 << 10
+
+
+class TestAugmentedSketch:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            AugmentedSketch(CountMinSketch(w=64, d=2), k=0)
+
+    def test_hot_item_exact(self):
+        aug = AugmentedSketch(CountMinSketch(w=256, d=4, seed=20), k=4)
+        for _ in range(500):
+            aug.update(1)
+        for x in zipf_trace(2_000, 1.0, universe=500, seed=20):
+            aug.update(x + 10)
+        assert aug.query(1) == 500
+
+    def test_never_underestimates_with_cms_backend(self):
+        aug = AugmentedSketch(CountMinSketch(w=512, d=4, seed=21), k=8)
+        trace = list(zipf_trace(5_000, 1.0, universe=1_000, seed=21))
+        truth = exact_counts(trace)
+        for x in trace:
+            aug.update(x)
+        for item, f in truth.items():
+            assert aug.query(item) >= f
+
+    def test_works_over_salsa(self):
+        aug = AugmentedSketch(
+            SalsaCountMin(w=1 << 10, d=4, s=8, seed=22), k=8)
+        trace = list(zipf_trace(5_000, 1.2, universe=1_000, seed=22))
+        truth = exact_counts(trace)
+        for x in trace:
+            aug.update(x)
+        for item, f in truth.items():
+            assert aug.query(item) >= f
+
+    def test_eviction_pushes_count_back(self):
+        """Volume must be conserved between filter and sketch."""
+        backend = CountMinSketch(w=256, d=4, seed=23)
+        aug = AugmentedSketch(backend, k=2)
+        trace = list(zipf_trace(3_000, 1.0, universe=300, seed=23))
+        for x in trace:
+            aug.update(x)
+        filtered = {item for item, _ in aug.filtered_items()}
+        truth = exact_counts(trace)
+        for item, f in truth.items():
+            if item not in filtered:
+                assert backend.query(item) >= f - 0  # never lost volume
+
+    def test_memory_includes_filter(self):
+        backend = CountMinSketch(w=256, d=4)
+        aug = AugmentedSketch(backend, k=8)
+        assert aug.memory_bytes == backend.memory_bytes + 8 * 16
+
+
+class TestCuckooCounter:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            CuckooCounter(buckets=100)
+
+    def test_exact_for_small_flows(self):
+        cc = CuckooCounter(buckets=1 << 8, seed=24)
+        for item in range(100):
+            for _ in range(item % 7 + 1):
+                cc.update(item)
+        for item in range(100):
+            assert cc.query(item) == item % 7 + 1
+
+    def test_promotion_past_255(self):
+        cc = CuckooCounter(buckets=1 << 8, seed=25)
+        cc.update(5, 200)
+        cc.update(5, 200)
+        assert cc.query(5) == 400
+
+    def test_weighted_and_unseen(self):
+        cc = CuckooCounter(buckets=1 << 6, seed=26)
+        cc.update(1, 9)
+        assert cc.query(1) == 9
+        assert cc.query(2) == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CuckooCounter(buckets=64).update(1, 0)
+
+    def test_load_and_drops_under_pressure(self):
+        """Overfilling a tiny table must evict, not crash."""
+        cc = CuckooCounter(buckets=4, small_slots=2, wide_slots=1,
+                           max_kicks=8, seed=27)
+        for item in range(200):
+            cc.update(item)
+        assert 0.0 < cc.load <= 1.0
+        assert cc.dropped_volume >= 0
+
+    def test_memory_model(self):
+        cc = CuckooCounter(buckets=1 << 10, small_slots=4, wide_slots=1)
+        small_bits = (1 << 10) * 4 * 20
+        wide_bits = (1 << 10) * 1 * 44
+        assert cc.memory_bytes == (small_bits + wide_bits + 7) // 8
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=50),
+                min_size=1, max_size=300))
+def test_spacesaving_sandwich_property(items):
+    """f_x <= estimate <= f_x + N/k for every monitored item."""
+    ss = SpaceSaving(k=8)
+    truth = {}
+    for x in items:
+        ss.update(x)
+        truth[x] = truth.get(x, 0) + 1
+    for item, est, _err in ss.entries():
+        assert truth[item] <= est <= truth[item] + len(items) / 8 + 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=50),
+                min_size=1, max_size=300))
+def test_misra_gries_never_overestimates(items):
+    mg = MisraGries(k=8)
+    truth = {}
+    for x in items:
+        mg.update(x)
+        truth[x] = truth.get(x, 0) + 1
+    for item in truth:
+        assert mg.query(item) <= truth[item]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=200),
+                min_size=1, max_size=200),
+       st.integers(min_value=0, max_value=2**32))
+def test_cuckoo_exact_or_zero(items, seed):
+    """Every queried count is either exact or lost-to-eviction (0 /
+    saturated); it never exceeds the truth."""
+    cc = CuckooCounter(buckets=1 << 6, seed=seed)
+    truth = {}
+    for x in items:
+        cc.update(x)
+        truth[x] = truth.get(x, 0) + 1
+    stored = sum(entry.count
+                 for bucket in (cc._small, cc._wide)
+                 for slots in bucket for entry in slots)
+    # Volume conservation: everything is stored, evicted, or saturated.
+    assert stored + cc.dropped_volume <= cc.n
+    for item, f in truth.items():
+        assert cc.query(item) >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=30),
+                          st.integers(min_value=-5, max_value=5).filter(bool)),
+                min_size=1, max_size=200))
+def test_nitrosketch_p1_equals_count_sketch_semantics(updates):
+    """With p=1 NitroSketch is an exact (float) Count Sketch: the
+    estimate of an isolated heavy item equals its net frequency when
+    it has no collisions in at least d/2 rows -- here we just verify
+    volume conservation per row."""
+    ns = NitroSketch(w=1 << 8, d=3, p=1.0, seed=0)
+    net = {}
+    for item, value in updates:
+        ns.update(item, value)
+        net[item] = net.get(item, 0) + value
+    for row in range(3):
+        signed_total = sum(
+            ns.hashes.sign(item, row) * f for item, f in net.items())
+        assert sum(ns._rows[row]) == pytest.approx(signed_total)

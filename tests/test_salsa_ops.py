@@ -1,0 +1,178 @@
+"""Tests for SALSA sketch algebra: merge s(A u B) and subtract s(A \\ B)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    SalsaCountMin,
+    SalsaCountSketch,
+    SalsaConservativeUpdate,
+    ops,
+)
+from repro.hashing import HashFamily
+from repro.streams import Trace, split_halves, zipf_trace
+
+import numpy as np
+
+
+def _family(d, seed):
+    return HashFamily(d, seed)
+
+
+class TestCompatibilityChecks:
+    def test_shape_mismatch(self):
+        fam = _family(4, 1)
+        a = SalsaCountMin(w=64, d=4, hash_family=fam)
+        b = SalsaCountMin(w=128, d=4, hash_family=fam)
+        with pytest.raises(ValueError):
+            ops.merge(a, b)
+
+    def test_hash_mismatch(self):
+        a = SalsaCountMin(w=64, d=4, seed=1)
+        b = SalsaCountMin(w=64, d=4, seed=2)
+        with pytest.raises(ValueError):
+            ops.merge(a, b)
+
+
+class TestCmsMerge:
+    def test_union_overestimates_both_streams(self):
+        fam = _family(4, 3)
+        a = SalsaCountMin(w=256, d=4, hash_family=fam)
+        b = SalsaCountMin(w=256, d=4, hash_family=fam)
+        truth = {}
+        for x in zipf_trace(5_000, 1.0, universe=800, seed=3):
+            a.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        for x in zipf_trace(5_000, 1.0, universe=800, seed=4):
+            b.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        ops.merge(a, b)
+        assert all(a.query(x) >= f for x, f in truth.items())
+
+    def test_union_of_disjoint_singletons(self):
+        fam = _family(4, 5)
+        a = SalsaCountMin(w=1 << 12, d=4, hash_family=fam)
+        b = SalsaCountMin(w=1 << 12, d=4, hash_family=fam)
+        a.update(1, 10)
+        b.update(2, 20)
+        ops.merge(a, b)
+        assert a.query(1) == 10
+        assert a.query(2) == 20
+
+    def test_union_layout_covers_both(self):
+        """Each counter's size is at least its size in either input."""
+        fam = _family(1, 6)
+        a = SalsaCountMin(w=16, d=1, hash_family=fam)
+        b = SalsaCountMin(w=16, d=1, hash_family=fam)
+        a.rows[0].add(2, 300)   # a has a 16-bit counter at <2,3>
+        b.rows[0].add(8, 70_000)  # b has a 32-bit counter at <8..11>
+        ops.merge(a, b)
+        assert a.rows[0].level_of(2) >= 1
+        assert a.rows[0].level_of(8) >= 2
+
+    def test_merge_triggered_overflow(self):
+        """Summing two near-full counters overflows and re-merges."""
+        fam = _family(1, 7)
+        a = SalsaCountMin(w=16, d=1, hash_family=fam)
+        b = SalsaCountMin(w=16, d=1, hash_family=fam)
+        a.rows[0].add(0, 250)
+        b.rows[0].add(0, 250)
+        ops.merge(a, b)
+        assert a.rows[0].read(0) >= 250  # max-merge keeps upper bound
+        assert a.rows[0].level_of(0) >= 0
+
+    def test_cms_subtract_subset(self):
+        """s(A \\ B) valid when B is a subset of A."""
+        fam = _family(4, 8)
+        a = SalsaCountMin(w=1 << 10, d=4, merge="sum", hash_family=fam)
+        b = SalsaCountMin(w=1 << 10, d=4, merge="sum", hash_family=fam)
+        for _ in range(30):
+            a.update(1)
+        for _ in range(10):
+            b.update(1)
+        ops.subtract(a, b)
+        assert a.query(1) >= 20
+
+
+class TestCusMerge:
+    def test_union_overestimates(self):
+        fam = _family(4, 9)
+        a = SalsaConservativeUpdate(w=256, d=4, hash_family=fam)
+        b = SalsaConservativeUpdate(w=256, d=4, hash_family=fam)
+        truth = {}
+        for x in zipf_trace(4_000, 1.0, universe=600, seed=9):
+            a.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        for x in zipf_trace(4_000, 1.0, universe=600, seed=10):
+            b.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        ops.merge(a, b)
+        assert all(a.query(x) >= f for x, f in truth.items())
+
+
+class TestCsSubtract:
+    def test_fig3_style_subtract_exact_when_sparse(self):
+        fam = _family(5, 10)
+        a = SalsaCountSketch(w=1 << 12, d=5, hash_family=fam)
+        b = SalsaCountSketch(w=1 << 12, d=5, hash_family=fam)
+        a.update(1, 100)
+        a.update(2, 30)
+        b.update(1, 40)
+        b.update(3, 7)
+        ops.subtract(a, b)
+        assert a.query(1) == 60
+        assert a.query(2) == 30
+        assert a.query(3) == -7
+
+    def test_merge_then_query(self):
+        fam = _family(5, 11)
+        a = SalsaCountSketch(w=1 << 12, d=5, hash_family=fam)
+        b = SalsaCountSketch(w=1 << 12, d=5, hash_family=fam)
+        a.update(9, 500)
+        b.update(9, 250)
+        ops.merge(a, b)
+        assert a.query(9) == 750
+
+    def test_change_detection_shape(self):
+        """Difference sketch estimates frequency *changes* between two
+        halves (the Fig 15 c/d mechanism)."""
+        fam = _family(5, 12)
+        rng = np.random.default_rng(12)
+        first = rng.integers(0, 50, size=4_000)
+        second = np.concatenate([
+            rng.integers(0, 50, size=3_000),
+            np.full(1_000, 7),  # item 7 surges in the second half
+        ])
+        trace = Trace(np.concatenate([first, second]))
+        a_half, b_half = split_halves(trace)
+        sa = SalsaCountSketch(w=1 << 10, d=5, hash_family=fam)
+        sb = SalsaCountSketch(w=1 << 10, d=5, hash_family=fam)
+        for x in a_half:
+            sa.update(x)
+        for x in b_half:
+            sb.update(x)
+        true_change = (b_half.frequencies().get(7, 0)
+                       - a_half.frequencies().get(7, 0))
+        ops.subtract(sb, sa)
+        assert sb.query(7) == pytest.approx(true_change, rel=0.25)
+
+    def test_subtract_with_merged_counters(self):
+        """Subtraction still works once counters have merged."""
+        fam = _family(5, 13)
+        a = SalsaCountSketch(w=64, d=5, s=8, hash_family=fam)
+        b = SalsaCountSketch(w=64, d=5, s=8, hash_family=fam)
+        rng = random.Random(13)
+        truth = {}
+        for _ in range(3_000):
+            x = rng.randrange(40)
+            a.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        for _ in range(1_000):
+            x = rng.randrange(40)
+            b.update(x)
+            truth[x] = truth.get(x, 0) - 1
+        ops.subtract(a, b)
+        errors = [a.query(x) - f for x, f in truth.items()]
+        mean_abs = sum(abs(e) for e in errors) / len(errors)
+        assert mean_abs < 120  # collisions only, no systematic corruption

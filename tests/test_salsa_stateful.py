@@ -1,0 +1,115 @@
+"""Stateful model-based testing of SalsaRow.
+
+Hypothesis drives a random sequence of updates against three systems in
+lockstep:
+
+* a ``SalsaRow`` with the simple (1 bit/counter) encoding,
+* a ``SalsaRow`` with the compact (Appendix A) encoding,
+* an exact reference model (per-base-slot running sums).
+
+Invariants checked after every step:
+
+1. **Sum-merge semantics**: each live counter's value equals the exact
+   total of all updates that landed in its span (no saturation at this
+   scale).
+2. **Encoding equivalence**: both encodings agree on every counter's
+   level and value -- the compact layout is just a denser code for the
+   same structure.
+3. **Partition**: live counters tile ``[0, w)`` without gaps/overlap.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import settings
+
+from repro.core import SalsaRow
+
+W = 32
+S = 2  # tiny counters so merges happen constantly
+
+
+class SalsaRowMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.simple = SalsaRow(w=W, s=S, merge="sum", encoding="simple")
+        self.compact = SalsaRow(w=W, s=S, merge="sum", encoding="compact")
+        self.reference = [0] * W
+
+    @rule(j=st.integers(min_value=0, max_value=W - 1),
+          v=st.integers(min_value=0, max_value=40))
+    def add(self, j, v):
+        self.simple.add(j, v)
+        self.compact.add(j, v)
+        self.reference[j] += v
+
+    @invariant()
+    def counters_partition_the_row(self):
+        covered = []
+        for start, level, _value in self.simple.counters():
+            covered.extend(range(start, start + (1 << level)))
+        assert sorted(covered) == list(range(W))
+
+    @invariant()
+    def sum_merge_matches_reference(self):
+        for start, level, value in self.simple.counters():
+            span = range(start, start + (1 << level))
+            assert value == sum(self.reference[k] for k in span)
+
+    @invariant()
+    def encodings_agree(self):
+        for j in range(W):
+            assert self.simple.level_of(j) == self.compact.level_of(j)
+            assert self.simple.read(j) == self.compact.read(j)
+
+
+TestSalsaRowMachine = SalsaRowMachine.TestCase
+TestSalsaRowMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None)
+
+
+class MaxMergeMachine(RuleBasedStateMachine):
+    """Max-merge rows: each counter upper-bounds every slot's exact sum
+    and never exceeds the exact sum of its span (Thm V.2's sandwich at
+    row level).  A separate ``split`` rule exercises counter splitting;
+    after any split the upper half of the sandwich no longer applies to
+    the split halves (both inherit the merged bound), so the machine
+    tracks whether splits happened and weakens the check accordingly.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.row = SalsaRow(w=W, s=S, merge="max", encoding="simple")
+        self.reference = [0] * W
+        self.split_happened = False
+
+    @rule(j=st.integers(min_value=0, max_value=W - 1),
+          v=st.integers(min_value=1, max_value=40))
+    def add(self, j, v):
+        self.row.add(j, v)
+        self.reference[j] += v
+
+    @rule()
+    def split_everything_splittable(self):
+        for start, level, _value in list(self.row.counters()):
+            if level >= 1 and self.row.try_split(start, level):
+                self.split_happened = True
+
+    @invariant()
+    def counter_is_an_upper_bound(self):
+        """The half of the sandwich splits preserve: every slot's read
+        dominates its exact sum (the CMS over-estimation guarantee)."""
+        for j in range(W):
+            assert self.row.read(j) >= self.reference[j]
+
+    @invariant()
+    def counter_below_span_total_until_split(self):
+        if self.split_happened:
+            return
+        for start, level, value in self.row.counters():
+            span = range(start, start + (1 << level))
+            assert value <= sum(self.reference[k] for k in span)
+
+
+TestMaxMergeMachine = MaxMergeMachine.TestCase
+TestMaxMergeMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None)

@@ -1,0 +1,228 @@
+"""Tests for stream transforms, trace statistics, and trace files."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import (
+    FiveTuple,
+    Trace,
+    concat,
+    counters_per_flow,
+    describe,
+    fit_zipf_skew,
+    heavy_hitter_mass,
+    interleave,
+    load_flows_as_trace,
+    profile,
+    read_flows,
+    relabel,
+    round_robin,
+    sample,
+    shuffle,
+    sorted_by_frequency,
+    split_fraction,
+    truncate_universe,
+    write_flows,
+    zipf_trace,
+)
+
+
+@pytest.fixture
+def small_trace():
+    return zipf_trace(2_000, 1.1, universe=500, seed=1)
+
+
+class TestTransforms:
+    def test_shuffle_preserves_frequencies(self, small_trace):
+        out = shuffle(small_trace, seed=2)
+        assert out.frequencies() == small_trace.frequencies()
+        assert not np.array_equal(out.items, small_trace.items)
+
+    def test_shuffle_deterministic(self, small_trace):
+        a = shuffle(small_trace, seed=3)
+        b = shuffle(small_trace, seed=3)
+        assert np.array_equal(a.items, b.items)
+
+    def test_heavy_first_puts_heaviest_first(self, small_trace):
+        out = sorted_by_frequency(small_trace, heavy_first=True)
+        freq = small_trace.frequencies()
+        heaviest = max(freq, key=freq.get)
+        assert out.items[0] == heaviest
+        assert out.frequencies() == freq
+
+    def test_heavy_last_reverses(self, small_trace):
+        first = sorted_by_frequency(small_trace, heavy_first=True)
+        last = sorted_by_frequency(small_trace, heavy_first=False)
+        freq = small_trace.frequencies()
+        heaviest = max(freq, key=freq.get)
+        assert last.items[-1] == heaviest
+        assert first.frequencies() == last.frequencies()
+
+    def test_round_robin_interleaves(self):
+        trace = Trace(np.array([1, 1, 1, 2, 2, 3], dtype=np.int64))
+        out = round_robin(trace)
+        assert out.items.tolist() == [1, 2, 3, 1, 2, 1]
+
+    def test_interleave_preserves_both(self, small_trace):
+        a, b = split_fraction(small_trace, 0.3)
+        out = interleave(a, b, seed=4)
+        assert len(out) == len(small_trace)
+        assert out.frequencies() == small_trace.frequencies()
+        # Each side's relative order is preserved: greedily matching
+        # a's items against the interleaving must consume all of a.
+        remaining = a.items.tolist()
+        for item in out.items.tolist():
+            if remaining and item == remaining[0]:
+                remaining.pop(0)
+        assert not remaining
+
+    def test_concat(self, small_trace):
+        a, b = split_fraction(small_trace, 0.5)
+        out = concat(a, b)
+        assert np.array_equal(out.items, small_trace.items)
+
+    def test_split_fraction_bounds(self, small_trace):
+        with pytest.raises(ValueError):
+            split_fraction(small_trace, 0.0)
+        with pytest.raises(ValueError):
+            split_fraction(small_trace, 1.0)
+
+    def test_sample_thins_stream(self, small_trace):
+        out = sample(small_trace, 0.25, seed=5)
+        assert len(out) == pytest.approx(0.25 * len(small_trace), rel=0.2)
+        with pytest.raises(ValueError):
+            sample(small_trace, 0.0)
+
+    def test_relabel_preserves_histogram(self, small_trace):
+        out = relabel(small_trace, seed=6)
+        original = sorted(small_trace.frequencies().values())
+        relabelled = sorted(out.frequencies().values())
+        assert original == relabelled
+        assert set(out.frequencies()) != set(small_trace.frequencies())
+
+    def test_truncate_universe(self, small_trace):
+        out = truncate_universe(small_trace, keep=10)
+        assert out.distinct_count() <= 10
+        freq = small_trace.frequencies()
+        top10 = sorted(freq.values(), reverse=True)[:10]
+        assert sorted(out.frequencies().values(), reverse=True) == top10
+        with pytest.raises(ValueError):
+            truncate_universe(small_trace, keep=0)
+
+
+class TestStats:
+    def test_profile_basic_counts(self, small_trace):
+        prof = profile(small_trace)
+        assert prof.volume == len(small_trace)
+        assert prof.distinct == small_trace.distinct_count()
+        assert prof.max_frequency == max(small_trace.frequencies().values())
+        assert 0.0 < prof.top_decile_mass <= 1.0
+        assert 0.0 <= prof.singleton_fraction <= 1.0
+
+    def test_profile_empty(self):
+        prof = profile(Trace(np.empty(0, dtype=np.int64)))
+        assert prof.volume == 0
+        assert prof.distinct == 0
+
+    @pytest.mark.parametrize("skew", [0.8, 1.0, 1.3])
+    def test_zipf_skew_fit_recovers_parameter(self, skew):
+        trace = zipf_trace(200_000, skew, universe=100_000, seed=7)
+        freq = np.fromiter(trace.frequencies().values(), dtype=np.int64)
+        fitted = fit_zipf_skew(freq)
+        assert fitted == pytest.approx(skew, abs=0.2)
+
+    def test_heavy_hitter_mass_monotone_in_phi(self, small_trace):
+        masses = [heavy_hitter_mass(small_trace, phi)
+                  for phi in (1e-4, 1e-3, 1e-2, 1e-1)]
+        assert all(a >= b for a, b in zip(masses, masses[1:]))
+
+    def test_counters_per_flow(self):
+        assert counters_per_flow(1 << 20, 4, 32, 1 << 18) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            counters_per_flow(1024, 4, 32, 0)
+
+    def test_describe_is_printable(self, small_trace):
+        text = describe(small_trace)
+        assert "volume N" in text
+        assert small_trace.name in text
+
+
+class TestTraceFiles:
+    def test_five_tuple_roundtrip(self):
+        ft = FiveTuple(0x0A000001, 0x0A000002, 1234, 80, 6)
+        assert FiveTuple.unpack(ft.pack()) == ft
+
+    def test_from_item_is_deterministic(self):
+        assert FiveTuple.from_item(42) == FiveTuple.from_item(42)
+        assert FiveTuple.from_item(42) != FiveTuple.from_item(43)
+
+    def test_item_id_stable(self):
+        ft = FiveTuple.from_item(99)
+        assert ft.item_id() == FiveTuple.unpack(ft.pack()).item_id()
+
+    def test_write_read_roundtrip(self, small_trace, tmp_path):
+        path = write_flows(small_trace, str(tmp_path / "t"))
+        assert path.endswith(".flows")
+        records = list(read_flows(path))
+        assert len(records) == len(small_trace)
+        # Same item ids in the same arrival order after the hash fold.
+        loaded = load_flows_as_trace(path)
+        expected = [FiveTuple.from_item(x).item_id() for x in small_trace]
+        assert loaded.items.tolist() == expected
+
+    def test_frequencies_survive_the_roundtrip(self, small_trace, tmp_path):
+        path = write_flows(small_trace, str(tmp_path / "t"))
+        loaded = load_flows_as_trace(path)
+        original = sorted(small_trace.frequencies().values())
+        assert sorted(loaded.frequencies().values()) == original
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.flows"
+        path.write_bytes(b"NOTFLOWS" + b"\x00" * 13)
+        with pytest.raises(ValueError, match="bad magic"):
+            list(read_flows(str(path)))
+
+    def test_truncated_file_rejected(self, small_trace, tmp_path):
+        path = write_flows(small_trace.head(10), str(tmp_path / "t"))
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-5])
+        with pytest.raises(ValueError, match="truncated"):
+            list(read_flows(path))
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30),
+                min_size=1, max_size=200),
+       st.integers(min_value=0, max_value=2**32))
+def test_shuffle_is_a_permutation(items, seed):
+    trace = Trace(np.array(items, dtype=np.int64))
+    out = shuffle(trace, seed=seed)
+    assert sorted(out.items.tolist()) == sorted(items)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30),
+                min_size=2, max_size=200))
+def test_split_then_concat_is_identity(items):
+    trace = Trace(np.array(items, dtype=np.int64))
+    a, b = split_fraction(trace, 0.5)
+    assert np.array_equal(concat(a, b).items, trace.items)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 40),
+                min_size=1, max_size=100))
+def test_flows_roundtrip_property(items):
+    import tempfile
+
+    trace = Trace(np.array(items, dtype=np.int64))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = write_flows(trace, tmp + "/t")
+        loaded = load_flows_as_trace(path)
+        expected = [FiveTuple.from_item(x).item_id() for x in items]
+        assert loaded.items.tolist() == expected

@@ -1,0 +1,188 @@
+"""Tests for the stream model and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    DATASET_NAMES,
+    Trace,
+    dataset,
+    split_halves,
+    synthetic_caida,
+    synthetic_univ2,
+    synthetic_youtube,
+    zipf_trace,
+)
+
+
+class TestTrace:
+    def test_length_and_volume(self):
+        t = Trace(np.array([1, 1, 2, 3]))
+        assert len(t) == 4
+        assert t.volume == 4
+
+    def test_frequencies(self):
+        t = Trace(np.array([5, 5, 5, 9]))
+        assert t.frequencies() == {5: 3, 9: 1}
+
+    def test_distinct_count(self):
+        t = Trace(np.array([1, 2, 2, 3, 3, 3]))
+        assert t.distinct_count() == 3
+
+    def test_moments(self):
+        t = Trace(np.array([1, 1, 2]))  # f = (2, 1)
+        assert t.moment(0) == 2
+        assert t.moment(1) == 3
+        assert t.moment(2) == 5
+        assert t.l2() == pytest.approx(5 ** 0.5)
+
+    def test_entropy_uniform(self):
+        t = Trace(np.array([1, 2, 3, 4]))
+        assert t.entropy() == pytest.approx(2.0)
+
+    def test_entropy_degenerate(self):
+        t = Trace(np.array([7, 7, 7]))
+        assert t.entropy() == pytest.approx(0.0)
+
+    def test_head(self):
+        t = Trace(np.array([1, 2, 3, 4]))
+        assert list(t.head(2)) == [1, 2]
+
+    def test_iteration_yields_python_ints(self):
+        t = Trace(np.array([1, 2]))
+        assert all(isinstance(x, int) for x in t)
+
+    def test_split_halves(self):
+        t = Trace(np.arange(10))
+        a, b = split_halves(t)
+        assert len(a) == len(b) == 5
+        assert list(a) == list(range(5))
+        assert list(b) == list(range(5, 10))
+
+    def test_split_halves_odd_length_drops_last(self):
+        t = Trace(np.arange(7))
+        a, b = split_halves(t)
+        assert len(a) == len(b) == 3
+
+
+class TestZipf:
+    def test_length(self):
+        assert len(zipf_trace(1000, 1.0, seed=1)) == 1000
+
+    def test_deterministic(self):
+        a = zipf_trace(500, 1.0, seed=2, cache=False)
+        b = zipf_trace(500, 1.0, seed=2, cache=False)
+        assert np.array_equal(a.items, b.items)
+
+    def test_seed_matters(self):
+        a = zipf_trace(500, 1.0, seed=3, cache=False)
+        b = zipf_trace(500, 1.0, seed=4, cache=False)
+        assert not np.array_equal(a.items, b.items)
+
+    def test_cache_returns_same_object(self):
+        a = zipf_trace(100, 0.8, seed=5)
+        b = zipf_trace(100, 0.8, seed=5)
+        assert a is b
+
+    def test_higher_skew_more_concentrated(self):
+        low = zipf_trace(20_000, 0.6, seed=6, cache=False)
+        high = zipf_trace(20_000, 1.4, seed=6, cache=False)
+        top_low = max(low.frequencies().values())
+        top_high = max(high.frequencies().values())
+        assert top_high > top_low
+
+    def test_higher_skew_fewer_distinct(self):
+        low = zipf_trace(20_000, 0.6, seed=7, cache=False)
+        high = zipf_trace(20_000, 1.4, seed=7, cache=False)
+        assert high.distinct_count() < low.distinct_count()
+
+    def test_name_encodes_skew(self):
+        assert zipf_trace(100, 1.2, seed=8).name == "zipf1.2"
+
+
+class TestSyntheticDatasets:
+    def test_exact_volume(self):
+        for name in DATASET_NAMES:
+            t = dataset(name, 30_000, seed=1)
+            assert len(t) == 30_000, name
+
+    def test_dataset_names_roundtrip(self):
+        for name in DATASET_NAMES:
+            assert dataset(name, 5_000).name == name
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            dataset("nope", 100)
+
+    def test_bad_caida_variant_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_caida(100, variant="univ2")
+
+    def test_deterministic(self):
+        a = synthetic_caida(10_000, "ny18", seed=3, cache=False)
+        b = synthetic_caida(10_000, "ny18", seed=3, cache=False)
+        assert np.array_equal(a.items, b.items)
+
+    def test_ny18_mean_flow_size(self):
+        """NY18: 98M packets / 6.5M flows = mean flow ~15."""
+        t = synthetic_caida(60_000, "ny18", seed=4, cache=False)
+        mean_flow = t.volume / t.distinct_count()
+        assert 7 <= mean_flow <= 30
+
+    def test_ch16_heavier_than_ny18(self):
+        """CH16 has fewer, larger flows than NY18 (98M/2.5M vs 98M/6.5M)."""
+        ny = synthetic_caida(60_000, "ny18", seed=5, cache=False)
+        ch = synthetic_caida(60_000, "ch16", seed=5, cache=False)
+        assert ch.distinct_count() < ny.distinct_count()
+
+    def test_univ2_low_skew(self):
+        """Univ2's head is lighter (low skew regime)."""
+        un = synthetic_univ2(60_000, seed=6, cache=False)
+        ch = synthetic_caida(60_000, "ch16", seed=6, cache=False)
+        assert max(un.frequencies().values()) < max(ch.frequencies().values())
+
+    def test_youtube_heavy_tail(self):
+        t = synthetic_youtube(60_000, seed=7, cache=False)
+        freqs = sorted(t.frequencies().values(), reverse=True)
+        # Top item should dominate the median flow by a wide margin.
+        assert freqs[0] > 50 * freqs[len(freqs) // 2]
+
+    def test_no_flow_exceeds_max_share(self):
+        t = synthetic_caida(80_000, "ny18", seed=8, cache=False)
+        top = max(t.frequencies().values())
+        # The scaled NY18 profile caps head flows at ~5% of the volume
+        # (lognormal size noise can push slightly past the cap).
+        assert top <= 0.10 * t.volume
+
+    def test_head_flows_cross_counter_thresholds(self):
+        """At the default experiment length, head flows must exceed the
+        8-bit (255) and 13-bit (8191) caps so merge/saturation dynamics
+        actually fire (see DESIGN.md section 3)."""
+        t = synthetic_caida(1 << 17, "ny18", seed=9)
+        assert max(t.frequencies().values()) > 8191
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        from repro.streams.file_io import load_trace, save_trace
+
+        t = zipf_trace(2_000, 1.0, seed=41, cache=False)
+        path = save_trace(t, str(tmp_path / "trace"))
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.items, t.items)
+        assert loaded.name == t.name
+
+    def test_extension_appended(self, tmp_path):
+        from repro.streams.file_io import save_trace
+
+        t = Trace(np.array([1, 2, 3]))
+        path = save_trace(t, str(tmp_path / "x"))
+        assert path.endswith(".npz")
+
+    def test_bad_file_rejected(self, tmp_path):
+        from repro.streams.file_io import load_trace
+
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, other=np.array([1]))
+        with pytest.raises(ValueError):
+            load_trace(str(bad))

@@ -1,0 +1,180 @@
+"""Tests for Tango: fine-grained counter merging."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SalsaRow, TangoRow
+from repro.core.salsa_cms import TangoCountMin
+
+
+class TestConstruction:
+    def test_rejects_bad_w(self):
+        with pytest.raises(ValueError):
+            TangoRow(w=5)
+
+    def test_rejects_bad_s(self):
+        with pytest.raises(ValueError):
+            TangoRow(w=8, s=0)
+
+    def test_rejects_bad_merge(self):
+        with pytest.raises(ValueError):
+            TangoRow(w=8, merge="weird")
+
+    def test_default_max_slots(self):
+        assert TangoRow(w=64, s=8).max_slots == 8   # grows to 64 bits
+        assert TangoRow(w=64, s=1).max_slots == 64
+
+    def test_memory_one_bit_per_slot(self):
+        assert TangoRow(w=32, s=8).memory_bits == 32 * 8 + 32
+
+
+class TestGrowthSchedule:
+    """The paper's example: counter 9 grows <8,9>, <8..10>, <8..11>,
+    <8..12> ... <8..15>, then <7..15>, <6..15>, ..."""
+
+    def test_first_merge_aligns_to_pair(self):
+        row = TangoRow(w=16, s=8)
+        row.add(9, 255)
+        row.add(9, 1)
+        assert row.span_of(9) == (8, 9)
+
+    def test_subsequent_merges_fill_the_block_rightward(self):
+        row = TangoRow(w=16, s=8)
+        spans = []
+        row.add(9, 255)
+        for _ in range(7):
+            # Saturate the current span, force one extension.
+            left, right = row.span_of(9)
+            cap = (1 << ((right - left + 1) * 8)) - 1
+            row.add(9, cap - row.read(9) + 1)
+            spans.append(row.span_of(9))
+        assert spans == [
+            (8, 9), (8, 10), (8, 11), (8, 12), (8, 13), (8, 14), (8, 15),
+        ]
+
+    def test_then_extends_left(self):
+        row = TangoRow(w=16, s=2, max_slots=16)
+        row.add(9, 3)
+        for _ in range(9):
+            left, right = row.span_of(9)
+            cap = (1 << ((right - left + 1) * 2)) - 1
+            row.add(9, cap - row.read(9) + 1)
+        assert row.span_of(9) == (6, 15)
+
+    def test_extension_absorbs_merged_neighbour(self):
+        row = TangoRow(w=16, s=8)
+        row.add(10, 300)          # <10,11> forms
+        row.add(9, 255)
+        row.add(9, 1)             # 9 merges left: <8,9>
+        left, right = row.span_of(9)
+        cap = (1 << ((right - left + 1) * 8)) - 1
+        row.add(9, cap - row.read(9) + 1)   # extend right, absorb <10,11>
+        assert row.span_of(9) == (8, 11)
+
+
+class TestCounting:
+    def test_small_counts(self):
+        row = TangoRow(w=8, s=8)
+        for _ in range(200):
+            row.add(3, 1)
+        assert row.read(3) == 200
+
+    def test_max_merge_semantics(self):
+        row = TangoRow(w=8, s=8, merge="max")
+        row.add(0, 200)
+        row.add(1, 255)
+        row.add(1, 1)     # merge <0,1>: max(256, 200)
+        assert row.read(0) == 256
+
+    def test_sum_merge_semantics(self):
+        row = TangoRow(w=8, s=8, merge="sum")
+        row.add(0, 200)
+        row.add(1, 255)
+        row.add(1, 1)
+        assert row.read(0) == 456
+
+    def test_saturation_at_max_slots(self):
+        row = TangoRow(w=4, s=8, max_slots=2)
+        row.add(0, 1 << 20)
+        assert row.read(0) == (1 << 16) - 1
+        assert row.saturations == 1
+
+    def test_set_at_least(self):
+        row = TangoRow(w=8, s=8, merge="max")
+        assert row.set_at_least(2, 300) == 300
+        assert row.span_of(2) == (2, 3)
+        assert row.set_at_least(2, 100) == 300
+
+    def test_set_at_least_requires_max(self):
+        with pytest.raises(ValueError):
+            TangoRow(w=8, merge="sum").set_at_least(0, 5)
+
+    def test_counters_partition(self):
+        row = TangoRow(w=8, s=8)
+        row.add(4, 300)
+        spans = [(left, right) for left, right, _v in row.counters()]
+        covered = [s for left, right in spans for s in range(left, right + 1)]
+        assert covered == list(range(8))
+
+    def test_odd_s_bit_widths(self):
+        """s=4: 12-bit (3-slot) counters exercise unaligned fields."""
+        row = TangoRow(w=16, s=4, max_slots=16)
+        row.add(9, 3000)   # needs 12 bits -> 3 slots
+        assert row.read(9) == 3000
+        left, right = row.span_of(9)
+        assert right - left + 1 == 3
+
+
+class TestTangoContainedInSalsa:
+    """'At every point in time, the Tango counters are contained in the
+    corresponding SALSA counters' (section IV)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_containment_property(self, data):
+        salsa = SalsaRow(w=16, s=4, merge="max")
+        tango = TangoRow(w=16, s=4, max_slots=16, merge="max")
+        for _ in range(data.draw(st.integers(min_value=1, max_value=80))):
+            j = data.draw(st.integers(min_value=0, max_value=15))
+            v = data.draw(st.integers(min_value=1, max_value=40))
+            salsa.add(j, v)
+            tango.add(j, v)
+            for slot in range(16):
+                level, start = salsa.layout.locate(slot)
+                s_left, s_right = start, start + (1 << level) - 1
+                t_left, t_right = tango.span_of(slot)
+                assert s_left <= t_left and t_right <= s_right
+
+    def test_estimates_at_most_salsa(self):
+        rng = random.Random(7)
+        salsa = SalsaRow(w=32, s=8, merge="max")
+        tango = TangoRow(w=32, s=8, merge="max")
+        for _ in range(2000):
+            j = rng.randrange(32)
+            salsa.add(j, 1)
+            tango.add(j, 1)
+        for j in range(32):
+            assert tango.read(j) <= salsa.read(j)
+
+
+class TestTangoCountMin:
+    def test_counts(self):
+        sk = TangoCountMin(w=256, d=4, s=8, seed=1)
+        for _ in range(500):
+            sk.update(42)
+        assert sk.query(42) >= 500
+
+    def test_never_underestimates(self):
+        from repro.streams import zipf_trace
+        sk = TangoCountMin(w=256, d=4, s=8, seed=2)
+        truth = {}
+        for x in zipf_trace(10_000, 1.0, universe=2_000, seed=3):
+            sk.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        assert all(sk.query(x) >= f for x, f in truth.items())
+
+    def test_for_memory_within_budget(self):
+        sk = TangoCountMin.for_memory(16 * 1024, d=4, s=8)
+        assert sk.memory_bytes <= 16 * 1024

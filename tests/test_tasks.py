@@ -1,0 +1,297 @@
+"""Tests for the task layer."""
+
+import math
+
+import pytest
+
+from repro.core import SalsaCountMin, SalsaCountSketch, ops
+from repro.hashing import HashFamily
+from repro.sketches import CountMinSketch, CountSketch, UnivMon, ZeroSketch
+from repro.streams import zipf_trace
+from repro.tasks import (
+    HeavyHitterTracker,
+    change_detection_nrmse,
+    distinct_count_baseline,
+    distinct_count_salsa,
+    entropy_estimate,
+    heavy_hitter_are,
+    linear_counting_estimate,
+    moment_estimate,
+    topk_accuracy,
+    true_entropy,
+    true_topk,
+)
+from repro.tasks.count_distinct import linear_counting_standard_error
+from repro.tasks.heavy_hitters import heavy_hitter_aae, heavy_hitters_true
+from repro.tasks.moments import true_moment
+from repro.tasks.topk import run_topk
+
+
+class TestHeavyHitterTracker:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHitterTracker(0)
+
+    def test_keeps_largest(self):
+        t = HeavyHitterTracker(2)
+        for item, est in [(1, 5), (2, 9), (3, 1)]:
+            t.offer(item, est)
+        assert sorted(t.items()) == [1, 2]
+
+    def test_updates_existing(self):
+        t = HeavyHitterTracker(2)
+        t.offer(1, 5)
+        t.offer(1, 50)
+        assert t.estimate(1) == 50
+
+    def test_top_ordering(self):
+        t = HeavyHitterTracker(5)
+        for item, est in [(1, 5), (2, 9), (3, 7)]:
+            t.offer(item, est)
+        assert t.top(2) == [2, 3]
+
+    def test_len(self):
+        t = HeavyHitterTracker(5)
+        t.offer(1, 1)
+        assert len(t) == 1
+
+
+class TestHeavyHitterMetrics:
+    def test_true_hitters(self):
+        truth = {1: 60, 2: 30, 3: 10}
+        assert heavy_hitters_true(truth, 0.3) == {1: 60, 2: 30}
+
+    def test_phi_validation(self):
+        with pytest.raises(ValueError):
+            heavy_hitters_true({1: 1}, 0.0)
+
+    def test_no_hitters_rejected(self):
+        with pytest.raises(ValueError):
+            heavy_hitter_are(lambda x: 0, {1: 1, 2: 1}, 0.9)
+
+    def test_perfect_query_zero_are(self):
+        truth = {1: 60, 2: 40}
+        assert heavy_hitter_are(lambda x: truth[x], truth, 0.3) == 0.0
+
+    def test_zero_sketch_are_is_one(self):
+        """Estimating 0 gives relative error exactly 1 per hitter."""
+        truth = {1: 60, 2: 40}
+        z = ZeroSketch()
+        assert heavy_hitter_are(z.query, truth, 0.3) == 1.0
+
+    def test_aae(self):
+        truth = {1: 60, 2: 40}
+        assert heavy_hitter_aae(lambda x: truth[x] + 2, truth, 0.3) == 2.0
+
+    def test_saturating_cms_fails_on_hitters(self):
+        """The Fig 6 phenomenon: 8-bit CMS cannot size heavy hitters
+        whose frequency exceeds the 255 saturation point, however many
+        counters it buys."""
+        trace = zipf_trace(50_000, 1.0, universe=5_000, seed=1)
+        small = CountMinSketch.for_memory(4096, counter_bits=8)
+        wide = CountMinSketch.for_memory(4096, counter_bits=32)
+        truth = {}
+        for x in trace:
+            small.update(x)
+            wide.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        # phi chosen so every heavy hitter is past 8-bit saturation.
+        phi = 512 / trace.volume
+        are_small = heavy_hitter_are(small.query, truth, phi)
+        are_wide = heavy_hitter_are(wide.query, truth, phi)
+        assert are_small > are_wide
+
+
+class TestTopk:
+    def test_true_topk(self):
+        truth = {1: 5, 2: 9, 3: 7, 4: 1}
+        assert true_topk(truth, 2) == {2, 3}
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            true_topk({1: 1}, 0)
+        with pytest.raises(ValueError):
+            topk_accuracy([], {1: 1}, 0)
+
+    def test_accuracy_perfect(self):
+        truth = {1: 5, 2: 9, 3: 7}
+        assert topk_accuracy([2, 3], truth, 2) == 1.0
+
+    def test_accuracy_partial(self):
+        truth = {1: 5, 2: 9, 3: 7}
+        assert topk_accuracy([2, 1], truth, 2) == 0.5
+
+    def test_tie_awareness(self):
+        truth = {1: 5, 2: 5, 3: 5}
+        assert topk_accuracy([3, 1], truth, 2) == 1.0
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(ValueError):
+            topk_accuracy([1], {1: 1}, 5)
+
+    def test_run_topk_pipeline(self):
+        trace = zipf_trace(20_000, 1.3, universe=2_000, seed=2)
+        sketch = CountSketch.for_memory(32 * 1024, d=5, seed=2)
+        accuracy, truth = run_topk(sketch, trace, k=16)
+        assert accuracy >= 0.8
+        assert sum(truth.values()) == 20_000
+
+
+class TestCountDistinct:
+    def test_linear_counting_formula(self):
+        est = linear_counting_estimate(zero_counters=500, w=1000)
+        assert est == pytest.approx(math.log(0.5) / math.log(1 - 1 / 1000))
+
+    def test_all_zero_gives_zero(self):
+        assert linear_counting_estimate(1000, 1000) == 0.0
+
+    def test_saturated_returns_none(self):
+        assert linear_counting_estimate(0, 1000) is None
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            linear_counting_estimate(5, 0)
+        with pytest.raises(ValueError):
+            linear_counting_estimate(-1, 10)
+        with pytest.raises(ValueError):
+            linear_counting_estimate(11, 10)
+
+    def test_standard_error_shrinks_with_w(self):
+        e_small = linear_counting_standard_error(1 << 10, 500)
+        e_big = linear_counting_standard_error(1 << 14, 500)
+        assert e_big < e_small
+
+    def test_baseline_estimate_close(self):
+        trace = zipf_trace(30_000, 0.9, universe=8_000, seed=3)
+        cms = CountMinSketch(w=1 << 15, d=4, seed=3)
+        for x in trace:
+            cms.update(x)
+        est = distinct_count_baseline(cms)
+        assert est == pytest.approx(trace.distinct_count(), rel=0.05)
+
+    def test_salsa_estimate_close(self):
+        trace = zipf_trace(30_000, 0.9, universe=8_000, seed=4)
+        sk = SalsaCountMin(w=1 << 15, d=4, seed=4)
+        for x in trace:
+            sk.update(x)
+        est = distinct_count_salsa(sk)
+        assert est == pytest.approx(trace.distinct_count(), rel=0.05)
+
+    def test_saturated_baseline_returns_none(self):
+        cms = CountMinSketch(w=4, d=1, seed=5)
+        for x in range(100):
+            cms.update(x)
+        assert distinct_count_baseline(cms) is None
+
+    def test_salsa_beats_baseline_at_equal_memory(self):
+        """SALSA's s=8 rows have ~4x the cells of 32-bit rows, so Linear
+        Counting is more accurate (and survives to lower memory)."""
+        trace = zipf_trace(30_000, 0.8, universe=6_000, seed=6)
+        memory = 16 * 1024
+        base = CountMinSketch.for_memory(memory, d=4, seed=6)
+        salsa = SalsaCountMin.for_memory(memory, d=4, s=8, seed=6)
+        for x in trace:
+            base.update(x)
+            salsa.update(x)
+        base_est = distinct_count_baseline(base)
+        salsa_est = distinct_count_salsa(salsa)
+        truth = trace.distinct_count()
+        assert salsa_est is not None
+        if base_est is not None:
+            assert abs(salsa_est - truth) <= abs(base_est - truth) * 1.5
+
+
+class TestEntropyAndMoments:
+    def _fed_univmon(self, seed=7):
+        trace = zipf_trace(20_000, 1.2, universe=2_000, seed=seed)
+        um = UnivMon(w=256, d=5, levels=8, heap_size=60, seed=seed)
+        truth = {}
+        for x in trace:
+            um.update(x)
+            truth[x] = truth.get(x, 0) + 1
+        return um, truth
+
+    def test_true_entropy_matches_trace(self):
+        trace = zipf_trace(5_000, 1.0, universe=500, seed=8)
+        assert true_entropy(trace.frequencies()) == pytest.approx(
+            trace.entropy()
+        )
+
+    def test_true_entropy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            true_entropy({})
+
+    def test_entropy_estimate_close(self):
+        um, truth = self._fed_univmon()
+        assert entropy_estimate(um) == pytest.approx(
+            true_entropy(truth), rel=0.3
+        )
+
+    def test_entropy_requires_updates(self):
+        with pytest.raises(ValueError):
+            entropy_estimate(UnivMon(w=64, levels=2))
+
+    def test_true_moment(self):
+        truth = {1: 2, 2: 3}
+        assert true_moment(truth, 0) == 2
+        assert true_moment(truth, 1) == 5
+        assert true_moment(truth, 2) == 13
+
+    def test_moment_validation(self):
+        with pytest.raises(ValueError):
+            true_moment({1: 1}, -1)
+        with pytest.raises(ValueError):
+            moment_estimate(UnivMon(w=64, levels=2), -0.5)
+
+    def test_f1_estimate_close(self):
+        um, truth = self._fed_univmon(seed=9)
+        est = moment_estimate(um, 1.0)
+        assert est == pytest.approx(sum(truth.values()), rel=0.3)
+
+    def test_f2_estimate_order(self):
+        um, truth = self._fed_univmon(seed=10)
+        est = moment_estimate(um, 2.0)
+        exact = true_moment(truth, 2.0)
+        assert exact / 4 <= est <= exact * 4
+
+
+class TestChangeDetection:
+    def test_salsa_cs_change_detection(self):
+        trace = zipf_trace(20_000, 1.1, universe=2_000, seed=11)
+        fam = HashFamily(5, seed=11)
+        nrmse = change_detection_nrmse(
+            trace,
+            make_sketch=lambda: SalsaCountSketch(w=1 << 11, d=5,
+                                                 hash_family=fam),
+            subtract=ops.subtract,
+        )
+        assert 0 <= nrmse < 1e-2
+
+    def test_baseline_cs_change_detection(self):
+        trace = zipf_trace(20_000, 1.1, universe=2_000, seed=12)
+        fam = HashFamily(5, seed=12)
+        nrmse = change_detection_nrmse(
+            trace,
+            make_sketch=lambda: CountSketch(w=1 << 9, d=5, hash_family=fam),
+            subtract=lambda a, b: a.subtract(b),
+        )
+        assert 0 <= nrmse < 1e-2
+
+    def test_salsa_beats_baseline_at_equal_memory(self):
+        trace = zipf_trace(40_000, 1.0, universe=6_000, seed=13)
+        memory = 8 * 1024
+        fam = HashFamily(5, seed=13)
+        base_w = CountSketch.for_memory(memory, d=5).w
+        salsa_w = SalsaCountSketch.for_memory(memory, d=5).w
+        nrmse_base = change_detection_nrmse(
+            trace,
+            make_sketch=lambda: CountSketch(w=base_w, d=5, hash_family=fam),
+            subtract=lambda a, b: a.subtract(b),
+        )
+        nrmse_salsa = change_detection_nrmse(
+            trace,
+            make_sketch=lambda: SalsaCountSketch(w=salsa_w, d=5,
+                                                 hash_family=fam),
+            subtract=ops.subtract,
+        )
+        assert nrmse_salsa <= nrmse_base * 1.2
