@@ -1,0 +1,84 @@
+"""Micro-benchmark: per-item vs batched ingestion throughput.
+
+The SALSA paper's pitch is throughput-per-bit; this bench checks that
+the batch pipeline (vectorized hashing + duplicate pre-aggregation +
+merge-free bulk counter updates) actually buys throughput over the
+per-item loop, per sketch, on a skewed trace.  Results land in
+``results/batch_throughput.txt`` as items/sec for both paths.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py \
+        [--length N] [--batch-size B]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from _harness import emit_table, ingest_rates
+from repro import (
+    SalsaAeeCountMin,
+    SalsaConservativeUpdate,
+    SalsaCountMin,
+    SalsaCountSketch,
+)
+from repro.core.row import SUM
+from repro.sketches import (
+    AbcSketch,
+    ConservativeUpdateSketch,
+    CountMinSketch,
+    CountSketch,
+    SpaceSaving,
+)
+from repro.streams import dataset
+
+#: name -> zero-argument sketch factory (fresh state per measurement).
+FACTORIES = {
+    "cms": lambda: CountMinSketch(w=4096, d=4, seed=1),
+    "cus": lambda: ConservativeUpdateSketch(w=4096, d=4, seed=1),
+    "cs": lambda: CountSketch(w=4096, d=5, seed=1),
+    "abc": lambda: AbcSketch(w=4096, d=4, s=8, seed=1),
+    "spacesaving": lambda: SpaceSaving(k=1024),
+    "salsa-cms": lambda: SalsaCountMin(w=4096, d=4, s=8, seed=1),
+    "salsa-cms-sum": lambda: SalsaCountMin(w=4096, d=4, s=8, merge=SUM,
+                                           seed=1),
+    "salsa-cs": lambda: SalsaCountSketch(w=4096, d=5, s=8, seed=1),
+    "salsa-cus": lambda: SalsaConservativeUpdate(w=4096, d=4, s=8, seed=1),
+    "salsa-aee": lambda: SalsaAeeCountMin(w=4096, d=4, s=8, seed=1),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--length", type=int, default=200_000)
+    parser.add_argument("--batch-size", type=int, default=4096)
+    parser.add_argument("--dataset", default="ny18")
+    args = parser.parse_args(argv)
+
+    trace = dataset(args.dataset, args.length, seed=0)
+    header = (f"{'sketch':<14} {'per-item/s':>12} {'batched/s':>12} "
+              f"{'speedup':>8}")
+    lines = [
+        f"batch ingestion throughput -- {trace.name}, "
+        f"{len(trace):,} updates, batch={args.batch_size}",
+        header,
+        "-" * len(header),
+    ]
+    print(lines[0])
+    print(header)
+    print("-" * len(header))
+    for name, factory in FACTORIES.items():
+        per_item, batched = ingest_rates(factory, trace,
+                                         batch_size=args.batch_size)
+        line = (f"{name:<14} {per_item:>12,.0f} {batched:>12,.0f} "
+                f"{batched / per_item:>7.2f}x")
+        print(line)
+        lines.append(line)
+    path = emit_table("batch_throughput.txt", lines)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Execute every fenced ``python`` block in ``docs/*.md``.
+
+Documentation in this repo is executable by contract: each markdown
+file's ``python`` fences run sequentially in one fresh namespace (they
+may build on each other, as a reader would type them).  CI-style usage:
+
+    PYTHONPATH=src python scripts/check_docs.py [docs_dir ...]
+
+Exits non-zero on the first failing block, printing the file, block
+index, and the block source.  ``text`` fences (shell transcripts) are
+ignored.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def python_blocks(path: str) -> list[str]:
+    with open(path) as fh:
+        return _FENCE.findall(fh.read())
+
+
+def run_file(path: str) -> int:
+    """Run one markdown file's blocks; return the number executed."""
+    namespace: dict = {}
+    blocks = python_blocks(path)
+    for i, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"<{os.path.basename(path)} block {i}>",
+                         "exec"), namespace)
+        except Exception as exc:
+            print(f"FAIL {path} block {i}: {exc!r}\n---\n{block}---",
+                  file=sys.stderr)
+            raise SystemExit(1)
+    return len(blocks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    dirs = (argv if argv else None) or [os.path.join(_REPO_ROOT, "docs")]
+    # Make `import repro` work without installation.
+    src = os.path.join(_REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    total = 0
+    for directory in dirs:
+        paths = sorted(glob.glob(os.path.join(directory, "*.md")))
+        if not paths:
+            print(f"FAIL no markdown files under {directory}",
+                  file=sys.stderr)
+            return 1
+        for path in paths:
+            count = run_file(path)
+            total += count
+            print(f"ok {path}: {count} block(s)")
+    print(f"all {total} python block(s) executed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

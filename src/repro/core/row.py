@@ -205,6 +205,51 @@ class SalsaRow:
         self._write_block(start, level, value)
         return value
 
+    def add_batch(self, idxs, values) -> bool:
+        """Try to apply a pre-aggregated batch of adds without merging.
+
+        ``idxs``/``values`` are parallel lists of base-slot indices and
+        deltas (duplicates allowed).  The batch is applied only if it is
+        provably *merge-free*: for every touched counter, the current
+        value plus the batch's total absolute inflow still fits the
+        counter's width.  Under that condition every interleaving of
+        the individual adds stays in range, so plain summation is
+        bit-identical to any per-item order -- including the original
+        stream order the caller collapsed duplicates out of.
+
+        Returns ``True`` if applied (all-or-nothing); ``False`` if some
+        counter could overflow, in which case the row is untouched and
+        the caller must replay the batch through :meth:`add` in stream
+        order.
+        """
+        per_block: dict[int, list] = {}
+        locate = self.layout.locate
+        for j, v in zip(idxs, values):
+            level, start = locate(j)
+            entry = per_block.get(start)
+            if entry is None:
+                per_block[start] = [level, v, abs(v)]
+            else:
+                entry[1] += v
+                entry[2] += abs(v)
+        writes = []
+        for start, (level, net, mag) in per_block.items():
+            width = self.s << level
+            if not self.signed and net != mag:
+                # Negative deltas clamp at zero in `add`; summation
+                # would not be equivalent, so demand the exact path.
+                return False
+            cur = self.read_block(start, level)
+            if not self._fits(cur + mag, width):
+                return False
+            if self.signed and not self._fits(cur - mag, width):
+                return False
+            if net:
+                writes.append((start, level, cur + net))
+        for start, level, value in writes:
+            self._write_block(start, level, value)
+        return True
+
     def set_at_least(self, j: int, target: int) -> int:
         """Raise the counter containing ``j`` to at least ``target``.
 

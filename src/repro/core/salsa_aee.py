@@ -31,12 +31,20 @@ from __future__ import annotations
 import math
 import random
 
+import numpy as np
+
 from repro.hashing import HashFamily, mix64
 from repro.core.row import MAX, SIMPLE, SalsaRow
-from repro.sketches.base import StreamModel, width_for_memory
+from repro.sketches.base import (
+    BatchOpsMixin,
+    StreamModel,
+    as_batch,
+    batched_min_query,
+    width_for_memory,
+)
 
 
-class SalsaAeeCountMin:
+class SalsaAeeCountMin(BatchOpsMixin):
     """SALSA CMS with interleaved estimator downsampling.
 
     Parameters
@@ -142,13 +150,14 @@ class SalsaAeeCountMin:
         for _ in range(value):
             self._update_one(item)
 
-    def _update_one(self, item: int) -> None:
+    def _update_one(self, item: int, idxs: list[int] | None = None) -> None:
         # Sampling test first (this is where AEE's speed comes from:
         # dropped updates never compute a hash).
         if self.p < 1.0 and self._rng.random() >= self.p:
             return
-        mask = self.w - 1
-        idxs = [mix64(item ^ seed) & mask for seed in self.hashes.seeds]
+        if idxs is None:
+            mask = self.w - 1
+            idxs = [mix64(item ^ seed) & mask for seed in self.hashes.seeds]
         while True:
             # Would this increment overflow a largest-size counter?
             top_overflow = False
@@ -182,6 +191,54 @@ class SalsaAeeCountMin:
             if est is None or v < est:
                 est = v
         return est / self.p
+
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    def update_many(self, items, values=None) -> None:
+        """Batched update with vectorized hashing.
+
+        AEE's datapath is inherently sequential -- the sampling RNG,
+        overflow decisions, and downsampling events depend on arrival
+        order -- so the batch walks items one by one, but all ``d``
+        hashes per item come from one vectorized call per row, computed
+        up front.  RNG consumption is unchanged, so the result is
+        bit-identical to the per-item path.
+
+        Once the sampler is active (p < 1), pre-hashing would pay for
+        updates the sampling test discards -- the opposite of AEE's
+        "dropped updates never compute a hash" design -- so the walk
+        reverts to hashing lazily inside ``_update_one``.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if int(values.min()) < 1:
+            raise ValueError("SALSA AEE is a Cash Register sketch")
+        if self.p < 1.0 or self.hashes.uses_bobhash:
+            BatchOpsMixin.update_many(self, items, values)
+            return
+        idx_rows = [self.hashes.index_many(items, row_id, self.w).tolist()
+                    for row_id in range(self.d)]
+        for t, (item, v) in enumerate(zip(items.tolist(), values.tolist())):
+            self.volume += v
+            idxs = [idx_row[t] for idx_row in idx_rows]
+            for _ in range(v):
+                self._update_one(item, idxs)
+
+    def query_many(self, items) -> list:
+        """Batched query: deduped, one hash call per row, scaled by p."""
+        if self.hashes.uses_bobhash:
+            return BatchOpsMixin.query_many(self, items)
+
+        def row_values(row_id, uniq):
+            idxs = self.hashes.index_many(uniq, row_id, self.w)
+            read = self.rows[row_id].read
+            return np.fromiter((read(j) for j in idxs.tolist()),
+                               dtype=np.int64, count=len(uniq))
+
+        p = self.p
+        return [e / p for e in batched_min_query(items, self.d, row_values)]
 
     # ------------------------------------------------------------------
     @property

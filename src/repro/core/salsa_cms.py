@@ -15,13 +15,23 @@ verify on random streams.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.hashing import HashFamily, mix64
 from repro.core.row import COMPACT, MAX, SIMPLE, SUM, SalsaRow
 from repro.core.tango import TangoRow
-from repro.sketches.base import StreamModel, width_for_memory
+from repro.sketches.base import (
+    BatchOpsMixin,
+    StreamModel,
+    aggregate_batch,
+    as_batch,
+    batch_sum_fits,
+    batched_min_query,
+    width_for_memory,
+)
 
 
-class SalsaCountMin:
+class SalsaCountMin(BatchOpsMixin):
     """SALSA CMS.
 
     Parameters
@@ -99,6 +109,54 @@ class SalsaCountMin:
         return est
 
     # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    def update_many(self, items, values=None) -> None:
+        """Batched update: hash whole rows at once, merge duplicates.
+
+        Duplicate keys are pre-aggregated, each row's indices come from
+        one vectorized hash call, and counters are bumped through
+        :meth:`SalsaRow.add_batch`.  A row where the batch could
+        trigger a merge replays that row's updates in stream order, so
+        the result is bit-identical to the per-item path.  Batches with
+        negative values (Turnstile deletions) take the exact per-item
+        fallback wholesale.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if (int(values.min()) < 0 or not batch_sum_fits(values)
+                or self.hashes.uses_bobhash):
+            BatchOpsMixin.update_many(self, items, values)
+            return
+        uniq, sums = aggregate_batch(items, values)
+        agg_values = sums.tolist()
+        full_values = None
+        for row_id, row in enumerate(self.rows):
+            idxs = self.hashes.index_many(uniq, row_id, self.w)
+            if row.add_batch(idxs.tolist(), agg_values):
+                continue
+            # Exact fallback for this row only: original stream order.
+            if full_values is None:
+                full_values = values.tolist()
+            full_idxs = self.hashes.index_many(items, row_id, self.w)
+            for j, v in zip(full_idxs.tolist(), full_values):
+                row.add(j, v)
+
+    def query_many(self, items) -> list:
+        """Batched query: one hash call per row, duplicate keys deduped."""
+        if self.hashes.uses_bobhash:
+            return BatchOpsMixin.query_many(self, items)
+
+        def row_values(row_id, uniq):
+            idxs = self.hashes.index_many(uniq, row_id, self.w)
+            read = self.rows[row_id].read
+            return np.fromiter((read(j) for j in idxs.tolist()),
+                               dtype=np.int64, count=len(uniq))
+
+        return batched_min_query(items, self.d, row_values)
+
+    # ------------------------------------------------------------------
     @property
     def memory_bytes(self) -> int:
         """Payload plus merge-encoding overhead, as charged in figures."""
@@ -132,7 +190,7 @@ class SalsaCountMin:
                 f"merge={self.merge_policy!r})")
 
 
-class TangoCountMin:
+class TangoCountMin(BatchOpsMixin):
     """Tango CMS: the fine-grained-merging variant of Fig 7.
 
     Same interface as :class:`SalsaCountMin`; rows grow one slot at a

@@ -15,12 +15,23 @@ have opposite signs").
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.hashing import HashFamily, mix64
 from repro.core.row import SIMPLE, SUM, SalsaRow
-from repro.sketches.base import StreamModel, median, width_for_memory
+from repro.sketches.base import (
+    BatchOpsMixin,
+    StreamModel,
+    aggregate_batch,
+    as_batch,
+    batch_sum_fits,
+    batched_median_query,
+    median,
+    width_for_memory,
+)
 
 
-class SalsaCountSketch:
+class SalsaCountSketch(BatchOpsMixin):
     """SALSA CS (Turnstile, sign-magnitude, sum-merge).
 
     Examples
@@ -73,6 +84,58 @@ class SalsaCountSketch:
             c = row.read(h & mask)
             votes.append(c if h >> 63 else -c)
         return median(votes)
+
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    def update_many(self, items, values=None) -> None:
+        """Batched signed update over sign-magnitude SALSA rows.
+
+        Keys are pre-aggregated (a key keeps one sign per row, so its
+        updates sum), then each row takes the merge-free
+        :meth:`SalsaRow.add_batch` or replays in stream order.  Batches
+        containing negative update values fall back to the per-item
+        path: cancellation hides the intermediate peaks that decide
+        merges, so only the ordered walk is exact.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if (int(values.min()) < 0 or not batch_sum_fits(values)
+                or self.hashes.uses_bobhash):
+            BatchOpsMixin.update_many(self, items, values)
+            return
+        uniq, sums = aggregate_batch(items, values)
+        full_values = None
+        for row_id, row in enumerate(self.rows):
+            raw = self.hashes.raw_many(uniq, row_id)
+            idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
+            signed = np.where(raw >> np.uint64(63), sums, -sums)
+            if row.add_batch(idxs.tolist(), signed.tolist()):
+                continue
+            if full_values is None:
+                full_values = values.tolist()
+            raw = self.hashes.raw_many(items, row_id)
+            full_idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
+            top = (raw >> np.uint64(63)).astype(bool)
+            for j, positive, v in zip(full_idxs.tolist(), top.tolist(),
+                                      full_values):
+                row.add(j, v if positive else -v)
+
+    def query_many(self, items) -> list:
+        """Batched query: per-row votes gathered once, exact median."""
+        if self.hashes.uses_bobhash:
+            return BatchOpsMixin.query_many(self, items)
+
+        def row_votes(row_id, uniq):
+            raw = self.hashes.raw_many(uniq, row_id)
+            idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
+            read = self.rows[row_id].read
+            vals = np.fromiter((read(j) for j in idxs.tolist()),
+                               dtype=np.int64, count=len(uniq))
+            return np.where(raw >> np.uint64(63), vals, -vals)
+
+        return batched_median_query(items, self.d, row_votes)
 
     def row_estimate(self, item: int, row: int) -> int:
         """Single-row unbiased estimate (used by SALSA UnivMon)."""

@@ -10,12 +10,22 @@ corresponding counter of the underlying coarse CUS, so
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.hashing import HashFamily, mix64
 from repro.core.row import MAX, SIMPLE, SalsaRow
-from repro.sketches.base import StreamModel, width_for_memory
+from repro.sketches.base import (
+    BatchOpsMixin,
+    StreamModel,
+    as_batch,
+    batch_sum_fits,
+    collapse_runs,
+    batched_min_query,
+    width_for_memory,
+)
 
 
-class SalsaConservativeUpdate:
+class SalsaConservativeUpdate(BatchOpsMixin):
     """SALSA CUS (Cash Register, max-merge by necessity).
 
     Examples
@@ -74,6 +84,54 @@ class SalsaConservativeUpdate:
             if est is None or v < est:
                 est = v
         return est
+
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    def update_many(self, items, values=None) -> None:
+        """Batched conservative update.
+
+        The conservative rule couples rows through the pre-update
+        minimum, so updates cannot be reordered -- but back-to-back
+        updates of one key fuse exactly (``update(x, a); update(x, b)
+        == update(x, a + b)``), and hashing vectorizes.  We collapse
+        consecutive duplicate runs, hash each row once for the whole
+        batch, and walk the collapsed stream in order.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if int(values.min()) <= 0:
+            raise ValueError(
+                "SALSA CUS is a Cash Register sketch; batch contains a "
+                "non-positive value"
+            )
+        if not batch_sum_fits(values) or self.hashes.uses_bobhash:
+            BatchOpsMixin.update_many(self, items, values)
+            return
+        items, values = collapse_runs(items, values)
+        idx_rows = [self.hashes.index_many(items, row_id, self.w).tolist()
+                    for row_id in range(self.d)]
+        rows = self.rows
+        for t, v in enumerate(values.tolist()):
+            idxs = [idx_row[t] for idx_row in idx_rows]
+            est = min(row.read(j) for row, j in zip(rows, idxs))
+            target = est + v
+            for row, j in zip(rows, idxs):
+                row.set_at_least(j, target)
+
+    def query_many(self, items) -> list:
+        """Batched query: one hash call per row, duplicate keys deduped."""
+        if self.hashes.uses_bobhash:
+            return BatchOpsMixin.query_many(self, items)
+
+        def row_values(row_id, uniq):
+            idxs = self.hashes.index_many(uniq, row_id, self.w)
+            read = self.rows[row_id].read
+            return np.fromiter((read(j) for j in idxs.tolist()),
+                               dtype=np.int64, count=len(uniq))
+
+        return batched_min_query(items, self.d, row_values)
 
     # ------------------------------------------------------------------
     @property

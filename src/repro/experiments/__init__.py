@@ -15,6 +15,7 @@ from repro.experiments.runner import (
     nrmse_of,
     run_on_arrival,
     run_updates,
+    run_updates_batched,
     sweep,
     throughput_mops,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "Series",
     "run_on_arrival",
     "run_updates",
+    "run_updates_batched",
     "throughput_mops",
     "sweep",
     "nrmse_of",

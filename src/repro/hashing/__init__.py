@@ -20,13 +20,14 @@ reproducible bit-for-bit.
 """
 
 from repro.hashing.bobhash import bobhash
-from repro.hashing.family import HashFamily, mix64
+from repro.hashing.family import HashFamily, mix64, mix64_many
 from repro.hashing.tabulation import TabulationFamily, TabulationHash
 from repro.hashing.murmur import murmur3_32, murmur3_64
 
 __all__ = [
     "bobhash",
     "mix64",
+    "mix64_many",
     "HashFamily",
     "TabulationHash",
     "TabulationFamily",

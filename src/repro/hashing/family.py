@@ -21,9 +21,17 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
+
 from repro.hashing.bobhash import bobhash
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_MUL2 = np.uint64(0x94D049BB133111EB)
+_SH30 = np.uint64(30)
+_SH27 = np.uint64(27)
+_SH31 = np.uint64(31)
 
 
 def mix64(x: int) -> int:
@@ -32,6 +40,22 @@ def mix64(x: int) -> int:
     x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
     return x ^ (x >> 31)
+
+
+def mix64_many(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mix64` over a uint64 array.
+
+    Bit-identical to calling ``mix64`` element-wise (uint64 arithmetic
+    wraps modulo 2**64 exactly like the masked Python version), which
+    the batch-equivalence tests rely on.
+    """
+    x = x.astype(np.uint64, copy=True)
+    x ^= x >> _SH30
+    x *= _MUL1
+    x ^= x >> _SH27
+    x *= _MUL2
+    x ^= x >> _SH31
+    return x
 
 
 class HashFamily:
@@ -96,6 +120,42 @@ class HashFamily:
     def indexes(self, item: int | bytes, w: int) -> list[int]:
         """All ``d`` row indices at once."""
         return [self.raw(item, row) & (w - 1) for row in range(self.d)]
+
+    # ------------------------------------------------------------------
+    # batched variants (the vectorized datapath)
+    # ------------------------------------------------------------------
+    @property
+    def uses_bobhash(self) -> bool:
+        """True for BobHash-keyed families.
+
+        Sketch fast paths consult this to take their exact per-item
+        fallback: the sketches' inline update/query hashing is the
+        mix64 path, so only mix64 families may vectorize without
+        changing which slots a batch touches.
+        """
+        return self._use_bobhash
+
+    def raw_many(self, items: np.ndarray, row: int) -> np.ndarray:
+        """Raw 64-bit hashes of an int64 batch, as a uint64 array.
+
+        Element-wise identical to :meth:`raw`; BobHash families fall
+        back to the scalar path per item (BobHash is byte-oriented).
+        """
+        if self._use_bobhash:
+            return np.fromiter(
+                (self.raw(int(item), row) for item in items),
+                dtype=np.uint64, count=len(items),
+            )
+        return mix64_many(items.view(np.uint64) ^ np.uint64(self.seeds[row]))
+
+    def index_many(self, items: np.ndarray, row: int, w: int) -> np.ndarray:
+        """Row indices of a batch in a width-``w`` row (int64 array)."""
+        return (self.raw_many(items, row) & np.uint64(w - 1)).astype(np.int64)
+
+    def sign_many(self, items: np.ndarray, row: int) -> np.ndarray:
+        """+1/-1 sign array, from the top bit of each row hash."""
+        top = (self.raw_many(items, row) >> np.uint64(63)).astype(np.int64)
+        return 2 * top - 1
 
     # ------------------------------------------------------------------
     def same_functions(self, other: "HashFamily") -> bool:

@@ -24,7 +24,18 @@ benches (``benchmarks/bench_ext_*.py``):
 * :class:`CuckooCounter` -- exact cuckoo-hashed flow entries [47].
 """
 
-from repro.sketches.base import FrequencySketch, StreamModel, median, width_for_memory
+from repro.sketches.base import (
+    BatchFrequencySketch,
+    BatchOpsMixin,
+    FrequencySketch,
+    StreamModel,
+    aggregate_batch,
+    as_batch,
+    batch_sum_fits,
+    collapse_runs,
+    median,
+    width_for_memory,
+)
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.conservative_update import ConservativeUpdateSketch
 from repro.sketches.count_sketch import CountSketch
@@ -46,9 +57,15 @@ from repro.sketches.counter_tree import CounterTree
 
 __all__ = [
     "FrequencySketch",
+    "BatchFrequencySketch",
+    "BatchOpsMixin",
     "StreamModel",
     "median",
     "width_for_memory",
+    "as_batch",
+    "aggregate_batch",
+    "collapse_runs",
+    "batch_sum_fits",
     "CountMinSketch",
     "ConservativeUpdateSketch",
     "CountSketch",

@@ -19,15 +19,25 @@ from __future__ import annotations
 
 from array import array
 
+import numpy as np
+
 from repro.hashing import HashFamily, mix64
-from repro.sketches.base import StreamModel, width_for_memory
+from repro.sketches.base import (
+    BatchOpsMixin,
+    StreamModel,
+    aggregate_batch,
+    as_batch,
+    batch_sum_fits,
+    batched_min_query,
+    width_for_memory,
+)
 
 #: Per-pair states (encoded in the 3 overhead bits of the real scheme).
 _SEPARATE = 0     # two independent s-bit counters
 _COMBINED = 1     # one shared (2s-3)-bit counter for both indices
 
 
-class AbcSketch:
+class AbcSketch(BatchOpsMixin):
     """ABC with Count-Min aggregation (d rows, min over rows).
 
     Parameters
@@ -116,6 +126,47 @@ class AbcSketch:
             if est is None or v < est:
                 est = v
         return est
+
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    def update_many(self, items, values=None) -> None:
+        """Batched update with vectorized hashing and key aggregation.
+
+        ABC's borrow/combine transitions depend only on per-slot inflow
+        totals (positive inflows are monotone and combining is by sum),
+        so collapsing duplicate keys and reordering across keys leaves
+        the final pair states and values bit-identical to the per-item
+        walk.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if int(values.min()) < 1:
+            raise ValueError("ABC is a Cash Register sketch")
+        if not batch_sum_fits(values) or self.hashes.uses_bobhash:
+            BatchOpsMixin.update_many(self, items, values)
+            return
+        uniq, sums = aggregate_batch(items, values)
+        agg = sums.tolist()
+        for row_id in range(self.d):
+            idxs = self.hashes.index_many(uniq, row_id, self.w)
+            add = self._add
+            for j, v in zip(idxs.tolist(), agg):
+                add(row_id, j, v)
+
+    def query_many(self, items) -> list:
+        """Batched query: deduped keys, one hash call per row."""
+        if self.hashes.uses_bobhash:
+            return BatchOpsMixin.query_many(self, items)
+
+        def row_values(row_id, uniq):
+            idxs = self.hashes.index_many(uniq, row_id, self.w)
+            read = self._read
+            return np.fromiter((read(row_id, j) for j in idxs.tolist()),
+                               dtype=np.int64, count=len(uniq))
+
+        return batched_min_query(items, self.d, row_values)
 
     # ------------------------------------------------------------------
     @property

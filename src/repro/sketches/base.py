@@ -14,6 +14,8 @@ from __future__ import annotations
 import enum
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 
 class StreamModel(enum.Enum):
     """The three stream models of section III."""
@@ -39,6 +41,169 @@ class FrequencySketch(Protocol):
     def memory_bytes(self) -> int:
         """Total memory footprint, including encoding overheads."""
         ...
+
+
+@runtime_checkable
+class BatchFrequencySketch(FrequencySketch, Protocol):
+    """A frequency sketch with a bulk ingestion/query interface."""
+
+    def update_many(self, items, values=None) -> None:
+        """Process a batch of updates, equivalent to per-item ``update``."""
+        ...
+
+    def query_many(self, items) -> list:
+        """Estimates for a batch, equivalent to per-item ``query``."""
+        ...
+
+
+def as_batch(items, values=None) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize an update batch to int64 ``(items, values)`` arrays.
+
+    ``values=None`` means unit weights (the paper's Cash Register
+    streams).  Accepts lists, tuples, numpy arrays, Traces, and
+    WeightedTraces (whose own values array is consumed).
+    """
+    if hasattr(items, "items") and isinstance(getattr(items, "items"), np.ndarray):
+        trace_values = getattr(items, "values", None)
+        if isinstance(trace_values, np.ndarray):  # a WeightedTrace
+            if values is not None:
+                raise ValueError(
+                    "explicit values conflict with the batch's own "
+                    "values array"
+                )
+            values = trace_values
+        items = items.items  # a Trace
+    items = np.ascontiguousarray(items, dtype=np.int64)
+    if values is None:
+        values = np.ones(len(items), dtype=np.int64)
+    else:
+        values = np.ascontiguousarray(values, dtype=np.int64)
+        if len(values) != len(items):
+            raise ValueError(
+                f"batch length mismatch: {len(items)} items, "
+                f"{len(values)} values"
+            )
+    return items, values
+
+
+def aggregate_batch(items: np.ndarray,
+                    values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse duplicate keys: ``(unique_items, summed_values)``.
+
+    Exact only for sketches whose update is order-independent over the
+    batch (plain additions); callers guard accordingly.
+    """
+    uniq, inverse = np.unique(items, return_inverse=True)
+    if len(uniq) == len(items):
+        return items, values
+    sums = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(sums, inverse, values)
+    return uniq, sums
+
+
+def collapse_runs(items: np.ndarray,
+                  values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse *consecutive* duplicate keys into one weighted update.
+
+    Unlike :func:`aggregate_batch` this never reorders the stream, so
+    it is exact for order-dependent sketches (conservative update,
+    Space-Saving) where back-to-back updates of one key provably fuse:
+    ``update(x, a); update(x, b) == update(x, a + b)``.
+    """
+    if len(items) == 0:
+        return items, values
+    starts = np.empty(len(items), dtype=bool)
+    starts[0] = True
+    np.not_equal(items[1:], items[:-1], out=starts[1:])
+    if starts.all():
+        return items, values
+    run_starts = np.flatnonzero(starts)
+    sums = np.add.reduceat(values, run_starts)
+    return items[run_starts], sums
+
+
+#: Total-batch inflow ceiling for vectorized paths.  Aggregated deltas
+#: live in int64 scratch arrays; keeping the batch's total absolute
+#: inflow at or below 2^61 leaves headroom so `counter + delta` cannot
+#: wrap for any counter of <= 62 payload bits.  (Summed as float64: the
+#: relative error is ~2^-52, vastly smaller than the slack.)
+_BATCH_SUM_BOUND = float(1 << 61)
+
+
+def batch_sum_fits(values: np.ndarray) -> bool:
+    """True when a batch's total absolute inflow is safely below int64
+    wraparound; vectorized update paths fall back otherwise."""
+    return float(np.abs(values).sum(dtype=np.float64)) <= _BATCH_SUM_BOUND
+
+
+def batched_min_query(items, d: int, row_values) -> list:
+    """Shared min-over-rows batch query.
+
+    ``row_values(row_id, uniq)`` returns the int64 counter values of
+    the deduplicated keys in one row; the minimum across rows is mapped
+    back onto the original (duplicated) order.  Bit-identical to
+    per-item min queries because reads are pure.
+    """
+    items, _ = as_batch(items)
+    if len(items) == 0:
+        return []
+    uniq, inverse = np.unique(items, return_inverse=True)
+    est = None
+    for row_id in range(d):
+        vals = row_values(row_id, uniq)
+        est = vals if est is None else np.minimum(est, vals)
+    return est[inverse].tolist()
+
+
+def batched_median_query(items, d: int, row_votes) -> list:
+    """Shared median-over-rows batch query (Count Sketch aggregation).
+
+    ``row_votes(row_id, uniq)`` returns one row's signed estimates for
+    the deduplicated keys.  Replicates :func:`median` exactly: the
+    middle row for odd ``d`` (an int), the mean of the two middle rows
+    for even ``d`` (a float).
+    """
+    items, _ = as_batch(items)
+    if len(items) == 0:
+        return []
+    uniq, inverse = np.unique(items, return_inverse=True)
+    votes = np.empty((d, len(uniq)), dtype=np.int64)
+    for row_id in range(d):
+        votes[row_id] = row_votes(row_id, uniq)
+    votes.sort(axis=0)
+    mid = d // 2
+    if d % 2:
+        return votes[mid][inverse].tolist()
+    est = (votes[mid - 1] + votes[mid]) / 2
+    return est[inverse].tolist()
+
+
+class BatchOpsMixin:
+    """Default ``update_many``/``query_many``: the per-item loop.
+
+    Every sketch inheriting this exposes the batch API; fast sketches
+    override one or both methods with vectorized paths that are
+    *bit-identical* to this fallback (enforced by
+    ``tests/test_batch_api.py``).  Overrides that are only exact under
+    preconditions (e.g. non-negative values) must delegate back to
+    these defaults when the precondition fails.
+    """
+
+    def update_many(self, items, values=None) -> None:
+        """Process a batch of updates in order, one ``update`` each."""
+        items, values = as_batch(items, values)
+        update = self.update
+        for x, v in zip(items.tolist(), values.tolist()):
+            update(x, v)
+
+    def query_many(self, items) -> list:
+        """Per-item ``query`` over a batch, preserving order."""
+        if hasattr(items, "items") and isinstance(getattr(items, "items"), np.ndarray):
+            items = items.items
+        if isinstance(items, np.ndarray):
+            items = items.tolist()
+        query = self.query
+        return [query(x) for x in items]
 
 
 def width_for_memory(memory_bytes: int, d: int, counter_bits: int,

@@ -11,11 +11,21 @@ from __future__ import annotations
 
 from array import array
 
+import numpy as np
+
 from repro.hashing import HashFamily, mix64
-from repro.sketches.base import StreamModel, width_for_memory
+from repro.sketches.base import (
+    BatchOpsMixin,
+    StreamModel,
+    as_batch,
+    batch_sum_fits,
+    collapse_runs,
+    batched_min_query,
+    width_for_memory,
+)
 
 
-class ConservativeUpdateSketch:
+class ConservativeUpdateSketch(BatchOpsMixin):
     """Fixed-width Conservative Update Sketch (Cash Register only).
 
     Parameters mirror :class:`~repro.sketches.count_min.CountMinSketch`;
@@ -79,6 +89,54 @@ class ConservativeUpdateSketch:
             if est is None or c < est:
                 est = c
         return est
+
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    def update_many(self, items, values=None) -> None:
+        """Batched conservative update.
+
+        The pre-update minimum couples rows, so the walk stays ordered;
+        consecutive duplicate runs fuse exactly
+        (``update(x, a); update(x, b) == update(x, a + b)``, with the
+        saturating cap absorbing) and all hashing vectorizes up front.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if int(values.min()) <= 0:
+            raise ValueError(
+                "CUS is a Cash Register sketch; batch contains a "
+                "non-positive value"
+            )
+        if not batch_sum_fits(values) or self.hashes.uses_bobhash:
+            BatchOpsMixin.update_many(self, items, values)
+            return
+        items, values = collapse_runs(items, values)
+        idx_rows = [self.hashes.index_many(items, row_id, self.w).tolist()
+                    for row_id in range(self.d)]
+        rows = self.rows
+        cap = self.cap
+        for t, v in enumerate(values.tolist()):
+            idxs = [idx_row[t] for idx_row in idx_rows]
+            est = min(row[j] for row, j in zip(rows, idxs))
+            target = est + v
+            if target > cap:
+                target = cap
+            for row, j in zip(rows, idxs):
+                if row[j] < target:
+                    row[j] = target
+
+    def query_many(self, items) -> list:
+        """Fully vectorized batch query (min over row gathers)."""
+        if self.hashes.uses_bobhash:
+            return BatchOpsMixin.query_many(self, items)
+
+        def row_values(row_id, uniq):
+            idxs = self.hashes.index_many(uniq, row_id, self.w)
+            return np.frombuffer(self.rows[row_id], dtype=np.int64)[idxs]
+
+        return batched_min_query(items, self.d, row_values)
 
     # ------------------------------------------------------------------
     @property

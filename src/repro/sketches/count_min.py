@@ -13,11 +13,21 @@ from __future__ import annotations
 
 from array import array
 
+import numpy as np
+
 from repro.hashing import HashFamily, mix64
-from repro.sketches.base import StreamModel, width_for_memory
+from repro.sketches.base import (
+    BatchOpsMixin,
+    StreamModel,
+    aggregate_batch,
+    as_batch,
+    batch_sum_fits,
+    batched_min_query,
+    width_for_memory,
+)
 
 
-class CountMinSketch:
+class CountMinSketch(BatchOpsMixin):
     """Fixed-width Count-Min Sketch (Strict Turnstile).
 
     Parameters
@@ -86,6 +96,48 @@ class CountMinSketch:
             if est is None or c < est:
                 est = c
         return est
+
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    def update_many(self, items, values=None) -> None:
+        """Fully vectorized batch update.
+
+        Positive inflows into saturating counters are order-free
+        (the cap is absorbing), so duplicates aggregate, each row hashes
+        in one vectorized call, and counters take one gather/scatter.
+        Negative values (Strict Turnstile deletions) clamp at zero
+        per step, which is order-sensitive, so they use the exact
+        per-item fallback; so do >=63-bit counters and batches whose
+        total inflow nears the int64 scratch space.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if (int(values.min()) < 0 or self.counter_bits >= 63
+                or not batch_sum_fits(values) or self.hashes.uses_bobhash):
+            BatchOpsMixin.update_many(self, items, values)
+            return
+        uniq, sums = aggregate_batch(items, values)
+        cap = self.cap
+        for row_id, row in enumerate(self.rows):
+            idxs = self.hashes.index_many(uniq, row_id, self.w)
+            uidx, inv = np.unique(idxs, return_inverse=True)
+            delta = np.zeros(len(uidx), dtype=np.int64)
+            np.add.at(delta, inv, sums)
+            view = np.frombuffer(row, dtype=np.int64)
+            view[uidx] = np.minimum(cap, view[uidx] + delta)
+
+    def query_many(self, items) -> list:
+        """Fully vectorized batch query (min over row gathers)."""
+        if self.hashes.uses_bobhash:
+            return BatchOpsMixin.query_many(self, items)
+
+        def row_values(row_id, uniq):
+            idxs = self.hashes.index_many(uniq, row_id, self.w)
+            return np.frombuffer(self.rows[row_id], dtype=np.int64)[idxs]
+
+        return batched_min_query(items, self.d, row_values)
 
     # ------------------------------------------------------------------
     @property

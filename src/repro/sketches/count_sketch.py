@@ -14,11 +14,22 @@ from __future__ import annotations
 
 from array import array
 
+import numpy as np
+
 from repro.hashing import HashFamily, mix64
-from repro.sketches.base import StreamModel, median, width_for_memory
+from repro.sketches.base import (
+    BatchOpsMixin,
+    StreamModel,
+    aggregate_batch,
+    as_batch,
+    batch_sum_fits,
+    batched_median_query,
+    median,
+    width_for_memory,
+)
 
 
-class CountSketch:
+class CountSketch(BatchOpsMixin):
     """Fixed-width Count Sketch (Turnstile).
 
     Parameters
@@ -90,6 +101,67 @@ class CountSketch:
         h = mix64(item ^ self.hashes.seeds[row])
         c = self.rows[row][h & (self.w - 1)]
         return c if h >> 63 else -c
+
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    def update_many(self, items, values=None) -> None:
+        """Vectorized batch update with a per-row clamp guard.
+
+        A key keeps one sign per row, so duplicates aggregate; signed
+        deltas then scatter in one pass.  Clamping at the counter range
+        is the only order-sensitive step, so a row is vectorized only
+        when current +/- total absolute inflow provably stays in range
+        for every touched counter (true except for deliberately tiny
+        counters); otherwise that row replays in stream order.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if (int(values.min()) < 0 or self.counter_bits >= 63
+                or not batch_sum_fits(values) or self.hashes.uses_bobhash):
+            BatchOpsMixin.update_many(self, items, values)
+            return
+        uniq, sums = aggregate_batch(items, values)
+        lo, hi = self.min_val, self.max_val
+        full = None
+        for row_id, row in enumerate(self.rows):
+            raw = self.hashes.raw_many(uniq, row_id)
+            idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
+            signed = np.where(raw >> np.uint64(63), sums, -sums)
+            uidx, inv = np.unique(idxs, return_inverse=True)
+            delta = np.zeros(len(uidx), dtype=np.int64)
+            np.add.at(delta, inv, signed)
+            mag = np.zeros(len(uidx), dtype=np.int64)
+            np.add.at(mag, inv, sums)
+            view = np.frombuffer(row, dtype=np.int64)
+            old = view[uidx]
+            if bool(np.any(old + mag > hi)) or bool(np.any(old - mag < lo)):
+                # Exact fallback for this row only: stream order.
+                if full is None:
+                    full = (items, values.tolist())
+                raw = self.hashes.raw_many(full[0], row_id)
+                full_idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
+                top = (raw >> np.uint64(63)).astype(bool)
+                for j, positive, v in zip(full_idxs.tolist(), top.tolist(),
+                                          full[1]):
+                    new = row[j] + (v if positive else -v)
+                    row[j] = hi if new > hi else (lo if new < lo else new)
+                continue
+            view[uidx] = old + delta
+
+    def query_many(self, items) -> list:
+        """Vectorized batch query: exact median over row gathers."""
+        if self.hashes.uses_bobhash:
+            return BatchOpsMixin.query_many(self, items)
+
+        def row_votes(row_id, uniq):
+            raw = self.hashes.raw_many(uniq, row_id)
+            idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
+            vals = np.frombuffer(self.rows[row_id], dtype=np.int64)[idxs]
+            return np.where(raw >> np.uint64(63), vals, -vals)
+
+        return batched_median_query(items, self.d, row_votes)
 
     # ------------------------------------------------------------------
     @property

@@ -21,7 +21,13 @@ Both are Cash-Register-only and deterministic.
 
 from __future__ import annotations
 
-from repro.sketches.base import StreamModel
+from repro.sketches.base import (
+    BatchOpsMixin,
+    StreamModel,
+    as_batch,
+    batch_sum_fits,
+    collapse_runs,
+)
 
 #: Bytes we charge per table entry: an 8-byte key, an 8-byte count and
 #: amortized ~8 bytes of ordering structure (the C implementations in
@@ -29,7 +35,7 @@ from repro.sketches.base import StreamModel
 ENTRY_BYTES = 24
 
 
-class SpaceSaving:
+class SpaceSaving(BatchOpsMixin):
     """Space-Saving: the min counter is recycled for unseen items.
 
     Parameters
@@ -83,6 +89,32 @@ class SpaceSaving:
         entry = self._table.get(item)
         return entry[0] if entry is not None else 0
 
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    def update_many(self, items, values=None) -> None:
+        """Batched update with consecutive-duplicate fusion.
+
+        Space-Saving is order-dependent (the recycled minimum changes
+        with every miss), so only back-to-back updates of one key fuse:
+        whether the key is monitored, inserted, or takes over the
+        minimum, ``update(x, a); update(x, b)`` lands in the same table
+        state as ``update(x, a + b)``.  Runs are collapsed and the
+        stream walked in order.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if int(values.min()) <= 0:
+            raise ValueError("Space-Saving is Cash-Register-only")
+        if not batch_sum_fits(values):
+            BatchOpsMixin.update_many(self, items, values)
+            return
+        items, values = collapse_runs(items, values)
+        update = self.update
+        for x, v in zip(items.tolist(), values.tolist()):
+            update(x, v)
+
     def guaranteed(self, item: int) -> int:
         """Lower bound on ``item``'s frequency (count minus error)."""
         entry = self._table.get(item)
@@ -107,7 +139,7 @@ class SpaceSaving:
         return self.k * ENTRY_BYTES
 
 
-class MisraGries:
+class MisraGries(BatchOpsMixin):
     """Misra-Gries (Frequent): decrement-all on a miss with a full table.
 
     Parameters

@@ -22,6 +22,7 @@ from repro.streams.traces import (
     synthetic_univ2,
     synthetic_youtube,
     dataset,
+    dataset_chunks,
     DATASET_NAMES,
 )
 from repro.streams.transforms import (
@@ -46,6 +47,7 @@ from repro.streams.stats import (
 from repro.streams.tracefile import (
     FiveTuple,
     load_flows_as_trace,
+    read_flow_chunks,
     read_flows,
     write_flows,
 )
@@ -64,6 +66,7 @@ __all__ = [
     "synthetic_univ2",
     "synthetic_youtube",
     "dataset",
+    "dataset_chunks",
     "DATASET_NAMES",
     "save_trace",
     "load_trace",
@@ -88,6 +91,7 @@ __all__ = [
     "FiveTuple",
     "write_flows",
     "read_flows",
+    "read_flow_chunks",
     "load_flows_as_trace",
     # weighted streams
     "WeightedTrace",

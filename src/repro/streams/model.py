@@ -78,6 +78,19 @@ class Trace:
         """Prefix of the first ``n`` arrivals."""
         return Trace(self.items[:n], name=f"{self.name}[:{n}]")
 
+    def chunks(self, n: int):
+        """Yield the trace as int64 array views of at most ``n`` arrivals.
+
+        The batch-ingestion unit: feeding every chunk through
+        ``sketch.update_many`` processes exactly the same update
+        sequence as per-item iteration, chunk boundaries included.
+        """
+        if n < 1:
+            raise ValueError(f"chunk size must be >= 1, got {n}")
+        items = self.items
+        for start in range(0, len(items), n):
+            yield items[start:start + n]
+
 
 def split_halves(trace: Trace) -> tuple[Trace, Trace]:
     """Split a trace into two equal-length halves A and B.

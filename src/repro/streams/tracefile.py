@@ -122,6 +122,26 @@ def read_flows(path: str, chunk_records: int = 1 << 16):
                 yield FiveTuple.unpack(chunk[offset:offset + RECORD_BYTES])
 
 
+def read_flow_chunks(path: str, batch_records: int = 1 << 14):
+    """Yield int64 arrays of item ids, ``batch_records`` per chunk.
+
+    The batch-pipeline counterpart of :func:`read_flows`: each chunk
+    feeds ``sketch.update_many`` directly, so a ``.flows`` file streams
+    through a sketch without materializing the whole trace.  Ids are
+    identical to ``load_flows_as_trace(path).items``, in file order.
+    """
+    if batch_records < 1:
+        raise ValueError(f"batch_records must be >= 1, got {batch_records}")
+    batch: list[int] = []
+    for record in read_flows(path, chunk_records=batch_records):
+        batch.append(record.item_id())
+        if len(batch) == batch_records:
+            yield np.array(batch, dtype=np.int64)
+            batch = []
+    if batch:
+        yield np.array(batch, dtype=np.int64)
+
+
 def load_flows_as_trace(path: str, name: str | None = None) -> Trace:
     """Read a ``.flows`` file into a trace of hashed item ids."""
     ids = np.fromiter((record.item_id() for record in read_flows(path)),

@@ -151,6 +151,15 @@ def synthetic_youtube(length: int, seed: int = 0, cache: bool = True) -> Trace:
     return trace
 
 
+def dataset_chunks(name: str, length: int, batch_size: int, seed: int = 0):
+    """Yield a named synthetic dataset as update batches.
+
+    Convenience for the batch pipeline: equivalent to
+    ``dataset(name, length, seed).chunks(batch_size)``.
+    """
+    return dataset(name, length, seed=seed).chunks(batch_size)
+
+
 def dataset(name: str, length: int, seed: int = 0) -> Trace:
     """Fetch any of the four named synthetic datasets by name."""
     if name in ("ny18", "ch16"):
