@@ -4,7 +4,11 @@ The SALSA paper's pitch is throughput-per-bit; this bench checks that
 the batch pipeline (vectorized hashing + duplicate pre-aggregation +
 merge-free bulk counter updates) actually buys throughput over the
 per-item loop, per sketch, on a skewed trace.  Results land in
-``results/batch_throughput.txt`` as items/sec for both paths.
+``results/batch_throughput.txt`` as items/sec for both paths, and the
+SALSA sketches are additionally measured under **both row engines**
+(``bitpacked`` reference vs ``vector`` NumPy) in
+``results/engine_throughput.txt`` -- same estimates by contract, very
+different speed.
 
 Run standalone::
 
@@ -48,6 +52,22 @@ FACTORIES = {
     "salsa-aee": lambda: SalsaAeeCountMin(w=4096, d=4, s=8, seed=1),
 }
 
+#: name -> engine-parameterized factory for the per-engine table.
+ENGINE_FACTORIES = {
+    "salsa-cms": lambda engine: SalsaCountMin(
+        w=4096, d=4, s=8, seed=1, engine=engine),
+    "salsa-cms-sum": lambda engine: SalsaCountMin(
+        w=4096, d=4, s=8, merge=SUM, seed=1, engine=engine),
+    "salsa-cs": lambda engine: SalsaCountSketch(
+        w=4096, d=5, s=8, seed=1, engine=engine),
+    "salsa-cus": lambda engine: SalsaConservativeUpdate(
+        w=4096, d=4, s=8, seed=1, engine=engine),
+    "salsa-aee": lambda engine: SalsaAeeCountMin(
+        w=4096, d=4, s=8, seed=1, engine=engine),
+}
+
+ENGINES = ("bitpacked", "vector")
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -57,6 +77,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     trace = dataset(args.dataset, args.length, seed=0)
+
     header = (f"{'sketch':<14} {'per-item/s':>12} {'batched/s':>12} "
               f"{'speedup':>8}")
     lines = [
@@ -76,6 +97,29 @@ def main(argv: list[str] | None = None) -> int:
         print(line)
         lines.append(line)
     path = emit_table("batch_throughput.txt", lines)
+    print(f"wrote {path}")
+
+    header = (f"{'sketch':<14} {'engine':<10} {'per-item/s':>12} "
+              f"{'batched/s':>12} {'speedup':>8}")
+    elines = [
+        f"row-engine ingestion throughput -- {trace.name}, "
+        f"{len(trace):,} updates, batch={args.batch_size}",
+        "(estimates are bit-identical across engines; only speed moves)",
+        header,
+        "-" * len(header),
+    ]
+    print(elines[0])
+    print(header)
+    print("-" * len(header))
+    for name, factory in ENGINE_FACTORIES.items():
+        for engine in ENGINES:
+            per_item, batched = ingest_rates(
+                lambda: factory(engine), trace, batch_size=args.batch_size)
+            line = (f"{name:<14} {engine:<10} {per_item:>12,.0f} "
+                    f"{batched:>12,.0f} {batched / per_item:>7.2f}x")
+            print(line)
+            elines.append(line)
+    path = emit_table("engine_throughput.txt", elines)
     print(f"wrote {path}")
     return 0
 

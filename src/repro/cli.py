@@ -45,19 +45,38 @@ from repro.streams import (
 )
 from repro.tasks.heavy_hitters import HeavyHitterTracker
 
-#: name -> memory-budgeted sketch factory.
+#: name -> memory-budgeted sketch factory.  ``engine`` picks the SALSA
+#: row storage backend; fixed-width baselines have no engine to pick.
 SKETCHES = {
-    "cms": lambda mem, seed: CountMinSketch.for_memory(mem, d=4, seed=seed),
-    "cus": lambda mem, seed: ConservativeUpdateSketch.for_memory(
+    "cms": lambda mem, seed, engine=None: CountMinSketch.for_memory(
         mem, d=4, seed=seed),
-    "cs": lambda mem, seed: CountSketch.for_memory(mem, d=5, seed=seed),
-    "salsa-cms": lambda mem, seed: SalsaCountMin.for_memory(
-        mem, d=4, s=8, seed=seed),
-    "salsa-cus": lambda mem, seed: SalsaConservativeUpdate.for_memory(
-        mem, d=4, s=8, seed=seed),
-    "salsa-cs": lambda mem, seed: SalsaCountSketch.for_memory(
-        mem, d=5, s=8, seed=seed),
+    "cus": lambda mem, seed, engine=None: ConservativeUpdateSketch.for_memory(
+        mem, d=4, seed=seed),
+    "cs": lambda mem, seed, engine=None: CountSketch.for_memory(
+        mem, d=5, seed=seed),
+    "salsa-cms": lambda mem, seed, engine=None: SalsaCountMin.for_memory(
+        mem, d=4, s=8, seed=seed, engine=engine),
+    "salsa-cus": lambda mem, seed, engine=None:
+        SalsaConservativeUpdate.for_memory(mem, d=4, s=8, seed=seed,
+                                           engine=engine),
+    "salsa-cs": lambda mem, seed, engine=None: SalsaCountSketch.for_memory(
+        mem, d=5, s=8, seed=seed, engine=engine),
 }
+
+#: Sketches whose storage is engine-backed; ``--engine`` on any other
+#: sketch is an error rather than a silently ignored flag.
+ENGINE_SKETCHES = frozenset({"salsa-cms", "salsa-cus", "salsa-cs"})
+
+
+def _check_engine(args) -> str | None:
+    """Validated ``--engine`` value for the selected sketch."""
+    engine = getattr(args, "engine", None)
+    if engine and args.sketch not in ENGINE_SKETCHES:
+        raise SystemExit(
+            f"error: --engine applies to {sorted(ENGINE_SKETCHES)}; "
+            f"{args.sketch!r} has no row engine"
+        )
+    return engine
 
 
 def _load(path: str):
@@ -103,7 +122,8 @@ def cmd_profile(args) -> int:
 def cmd_run(args) -> int:
     trace = _load(args.trace)
     memory = _parse_memory(args.memory)
-    sketch = SKETCHES[args.sketch](memory, args.seed)
+    sketch = SKETCHES[args.sketch](memory, args.seed,
+                                   engine=_check_engine(args))
     collector = OnArrivalCollector()
     if args.batch_size > 1:
         # Batched ingest: each chunk is queried before it is applied,
@@ -135,10 +155,14 @@ def cmd_speed(args) -> int:
 
     trace = _load(args.trace)
     memory = _parse_memory(args.memory)
-    per_item = throughput_mops(SKETCHES[args.sketch](memory, args.seed), trace)
-    batched = throughput_mops(SKETCHES[args.sketch](memory, args.seed), trace,
-                              batch_size=args.batch_size)
-    print(f"sketch:    {args.sketch} ({memory:,}B)")
+    engine = _check_engine(args)
+    per_item = throughput_mops(
+        SKETCHES[args.sketch](memory, args.seed, engine=engine), trace)
+    batched = throughput_mops(
+        SKETCHES[args.sketch](memory, args.seed, engine=engine), trace,
+        batch_size=args.batch_size)
+    print(f"sketch:    {args.sketch} ({memory:,}B"
+          + (f", engine={engine}" if engine else "") + ")")
     print(f"stream:    {trace.name} ({len(trace):,} updates)")
     print(f"per-item:  {per_item * 1e6:,.0f} items/s")
     print(f"batched:   {batched * 1e6:,.0f} items/s "
@@ -168,7 +192,11 @@ def cmd_topk(args) -> int:
 def cmd_figure(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
-    return experiments_main(args.figures)
+    argv = list(args.figures)
+    engine = getattr(args, "engine", None)
+    if engine:
+        argv = ["--engine", engine] + argv
+    return experiments_main(argv)
 
 
 # ----------------------------------------------------------------------
@@ -203,6 +231,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-size", type=int, default=1,
                      help="ingest in chunks of this many updates "
                           "(1 = exact per-item on-arrival loop)")
+    run.add_argument("--engine", choices=("bitpacked", "vector"),
+                     default=None,
+                     help="SALSA row storage backend (default: bitpacked)")
     run.set_defaults(func=cmd_run)
 
     speed = sub.add_parser(
@@ -213,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
     speed.add_argument("--memory", default="64K")
     speed.add_argument("--seed", type=int, default=0)
     speed.add_argument("--batch-size", type=int, default=4096)
+    speed.add_argument("--engine", choices=("bitpacked", "vector"),
+                       default=None,
+                       help="SALSA row storage backend (default: bitpacked)")
     speed.set_defaults(func=cmd_speed)
 
     topk = sub.add_parser("topk", help="report the heaviest flows")
@@ -227,6 +261,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("figure", help="regenerate paper figures")
     fig.add_argument("figures", nargs="*",
                      help="figure ids (or --list via repro.experiments)")
+    fig.add_argument("--engine", choices=("bitpacked", "vector"),
+                     default=None,
+                     help="row engine backing every SALSA sketch in the "
+                          "run (sets the process-wide default)")
     fig.set_defaults(func=cmd_figure)
 
     return parser

@@ -2,6 +2,9 @@
 
 * :class:`SalsaRow` over a :class:`MergeBitLayout` (1 bit/counter) or
   :class:`CompactLayout` (~0.594 bits/counter, Appendix A);
+* pluggable row storage (:class:`BitPackedEngine` reference,
+  :class:`VectorRowEngine` NumPy bulk paths) behind one
+  :class:`RowEngine` interface;
 * :class:`TangoRow` for fine-grained merging;
 * the SALSA sketches of section V: :class:`SalsaCountMin`,
   :class:`TangoCountMin`, :class:`SalsaConservativeUpdate`,
@@ -15,6 +18,14 @@
 
 from repro.core.layout import MergeBitLayout
 from repro.core.compact import CompactLayout, encoding_bits, layout_count
+from repro.core.engines import (
+    ENGINES,
+    BitPackedEngine,
+    RowEngine,
+    VectorRowEngine,
+    get_default_engine,
+    set_default_engine,
+)
 from repro.core.row import COMPACT, MAX, SIMPLE, SUM, SalsaRow
 from repro.core.tango import TangoRow
 from repro.core.salsa_cms import SalsaCountMin, TangoCountMin
@@ -33,6 +44,12 @@ __all__ = [
     "encoding_bits",
     "SalsaRow",
     "TangoRow",
+    "RowEngine",
+    "BitPackedEngine",
+    "VectorRowEngine",
+    "ENGINES",
+    "get_default_engine",
+    "set_default_engine",
     "SUM",
     "MAX",
     "SIMPLE",

@@ -1,0 +1,572 @@
+"""Pluggable row engines: the physical storage behind :class:`SalsaRow`.
+
+The merge semantics of sections IV/V (which counters exist, how they
+combine on overflow) are independent of the physical encoding: any
+engine that preserves the observable counter values and merge levels
+is a valid SALSA row.  :class:`SalsaRow` therefore owns the *policy*
+(merge rule, sign handling, overflow/saturation decisions) and
+delegates the *representation* to a :class:`RowEngine`:
+
+* :class:`BitPackedEngine` -- the paper-faithful reference: counters
+  bit-packed in a :class:`~repro.bitvec.BitArray`, layout tracked by
+  :class:`~repro.core.layout.MergeBitLayout` or
+  :class:`~repro.core.compact.CompactLayout`, Count-Sketch fields in
+  sign-magnitude.  This is what the memory accounting charges.
+* :class:`VectorRowEngine` -- a NumPy materialization: one int64 (or
+  uint64 for unsigned rows) value per *base slot* (the value of a
+  merged counter is duplicated across its block, so a point read is a
+  single array index) plus a per-slot level array; merge bits are
+  derived, never stored.  ``add_batch`` becomes a vectorized
+  scatter-add with overflow detection.  It reports the *same*
+  ``overhead_bits`` as the bit-packed encoding it emulates, so memory
+  accounting -- and every figure -- is engine-independent.
+
+Both engines expose decoded integer values; only the bit-packed engine
+knows about sign-magnitude bit patterns.  The contract (enforced by
+``tests/test_row_engines.py``): on any stream, both engines yield
+identical counter values, merge levels, estimates, and memory bits --
+an engine changes speed, never the sketch.
+
+Vectorized bulk paths assume the caller bounds a batch's total
+absolute inflow by ``2^61`` (see ``sketches.base.batch_sum_fits``) so
+int64 scratch arithmetic cannot wrap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitvec import BitArray
+from repro.core.compact import CompactLayout, encoding_bits
+from repro.core.layout import MergeBitLayout
+
+#: Layout encodings (accounting identities shared by every engine).
+SIMPLE = "simple"
+COMPACT = "compact"
+
+#: The process-wide default engine; ``--engine`` flags switch it so a
+#: whole experiment run can be re-backed without threading a kwarg
+#: through every figure factory.
+_DEFAULT_ENGINE = "bitpacked"
+
+
+def set_default_engine(name: str) -> None:
+    """Set the engine used when a row/sketch is built with ``engine=None``."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = resolve_engine(name)
+
+
+def get_default_engine() -> str:
+    """Name of the current default row engine."""
+    return _DEFAULT_ENGINE
+
+
+def resolve_engine(name: str | None) -> str:
+    """Normalize an ``engine=`` argument to a registry key."""
+    if name is None:
+        return _DEFAULT_ENGINE
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown row engine {name!r}; known: {sorted(ENGINES)}"
+        )
+    return name
+
+
+def field_fits(value: int, width: int, signed: bool) -> bool:
+    """Can ``value`` be represented in a ``width``-bit field?
+
+    Sign-magnitude for signed fields (overflow symmetric in sign, the
+    property Lemma V.4 needs), plain unsigned range otherwise.
+    """
+    if signed:
+        return abs(value) <= (1 << (width - 1)) - 1
+    return 0 <= value < (1 << width)
+
+
+def _compact_overhead_bits(w: int, max_level: int) -> int:
+    """Appendix-A overhead for a ``w``-slot row, without building the
+    layout (the vector engine charges it while storing no such code)."""
+    group_level = max(5, max_level)
+    while (1 << group_level) > w:
+        group_level -= 1
+    return (w >> group_level) * encoding_bits(group_level)
+
+
+class BatchPlan:
+    """An aggregated, merge-free-checked batch awaiting application.
+
+    ``dirty_mask`` is ``None`` when every touched superblock passed the
+    merge-free check, else a boolean mask over the ``w >> max_level``
+    superblocks; ``data`` is engine-private.  A plan is valid only
+    until its row is next mutated.
+    """
+
+    __slots__ = ("dirty_mask", "data")
+
+    def __init__(self, dirty_mask, data):
+        self.dirty_mask = dirty_mask
+        self.data = data
+
+
+class RowEngine:
+    """Interface every SALSA row engine implements.
+
+    All values crossing this boundary are *decoded* Python ints (signed
+    for Count-Sketch rows); layout coordinates are ``(level, start)``
+    pairs exactly as in :class:`~repro.core.layout.MergeBitLayout`.
+    """
+
+    #: registry key; subclasses override.
+    name = "abstract"
+
+    def __init__(self, w: int, s: int, max_level: int,
+                 signed: bool = False, encoding: str = SIMPLE):
+        if encoding not in (SIMPLE, COMPACT):
+            raise ValueError(f"unknown encoding {encoding!r}")
+        self.w = w
+        self.s = s
+        self.max_level = max_level
+        self.signed = signed
+        self.encoding = encoding
+
+    # -- layout queries -------------------------------------------------
+    def locate(self, j: int) -> tuple[int, int]:
+        """(level, block_start) of the counter containing slot ``j``."""
+        raise NotImplementedError
+
+    def level_of(self, j: int) -> int:
+        """Merge level of the counter containing slot ``j``."""
+        raise NotImplementedError
+
+    def counters(self):
+        """Yield ``(start, level)`` for every live counter, in order."""
+        raise NotImplementedError
+
+    # -- structure ------------------------------------------------------
+    def merge_up(self, start: int, level: int) -> tuple[int, int]:
+        """Merge (start, level) with its sibling; return (level, start).
+
+        Structure only -- the caller combines values and rewrites the
+        enlarged block afterwards.
+        """
+        raise NotImplementedError
+
+    def split(self, start: int, level: int) -> int:
+        """Undo the top-most merge of a block; return the new level."""
+        raise NotImplementedError
+
+    # -- values ---------------------------------------------------------
+    def read(self, j: int) -> int:
+        """Decoded value of the counter containing slot ``j``."""
+        level, start = self.locate(j)
+        return self.read_block(start, level)
+
+    def read_block(self, start: int, level: int) -> int:
+        """Decoded value of the (known-located) counter."""
+        raise NotImplementedError
+
+    def write_block(self, start: int, level: int, value: int) -> None:
+        """Store ``value`` (must fit the block's width) at (start, level)."""
+        raise NotImplementedError
+
+    def read_many(self, idxs) -> np.ndarray:
+        """Decoded values of the counters containing each slot, int64."""
+        raise NotImplementedError
+
+    # -- bulk -----------------------------------------------------------
+    def add_batch(self, idxs, values, apply: bool = True) -> bool:
+        """Apply a pre-aggregated batch of adds iff provably merge-free.
+
+        Semantics are identical across engines (and to the historical
+        ``SalsaRow.add_batch``): all-or-nothing; ``False`` leaves the
+        row untouched.  ``apply=False`` runs the merge-free check only
+        (used for cross-row atomic batches, e.g. SALSA AEE).
+        """
+        raise NotImplementedError
+
+    def add_batch_partial(self, idxs, values, apply: bool = True):
+        """Apply the merge-free portion of a batch; report the rest.
+
+        Counters merge only within their enclosing ``2^max_level``-
+        aligned block ("superblock"), so superblocks are independent:
+        the batch is applied to every superblock whose touched counters
+        all pass the merge-free check, and a boolean mask over the
+        ``w >> max_level`` superblocks marks the *dirty* ones (left
+        completely untouched; the caller replays their updates in
+        stream order).  Returns ``None`` when everything applied.
+        ``apply=False`` computes the mask without writing anything.
+        """
+        plan = self.plan_add_batch(idxs, values)
+        if apply:
+            self.apply_plan(plan)
+        return plan.dirty_mask
+
+    def plan_add_batch(self, idxs, values) -> "BatchPlan":
+        """Aggregate + merge-free-check a batch without writing.
+
+        The returned plan stays valid until the row is next mutated;
+        :meth:`apply_plan` applies it without re-planning (used when a
+        check must pass on several rows before any row may write).
+        """
+        raise NotImplementedError
+
+    def apply_plan(self, plan: "BatchPlan") -> None:
+        """Write a plan's clean-superblock deltas (dirty untouched)."""
+        raise NotImplementedError
+
+    # -- accounting / lifecycle ----------------------------------------
+    @property
+    def overhead_bits(self) -> int:
+        """Encoding overhead charged by the figures, in bits."""
+        raise NotImplementedError
+
+    def copy(self) -> "RowEngine":
+        """Independent deep copy."""
+        raise NotImplementedError
+
+
+class BitPackedEngine(RowEngine):
+    """The bit-exact reference engine: ``BitArray`` + merge-bit layout.
+
+    This is the original ``SalsaRow`` storage, extracted verbatim; its
+    buffers are also the serialization wire format every engine round-
+    trips through (see :mod:`repro.core.serialize`).
+    """
+
+    name = "bitpacked"
+
+    def __init__(self, w: int, s: int, max_level: int,
+                 signed: bool = False, encoding: str = SIMPLE):
+        super().__init__(w, s, max_level, signed, encoding)
+        self.store = BitArray(w * s)
+        if encoding == SIMPLE:
+            self.layout = MergeBitLayout(w, max_level)
+        else:
+            self.layout = CompactLayout(w, max_level)
+
+    # -- field codec ----------------------------------------------------
+    def _decode(self, raw: int, width: int) -> int:
+        """Raw field bits -> value (sign-magnitude when signed)."""
+        if not self.signed:
+            return raw
+        magnitude = raw & ((1 << (width - 1)) - 1)
+        return -magnitude if raw >> (width - 1) else magnitude
+
+    def _encode(self, value: int, width: int) -> int:
+        """Value -> raw field bits."""
+        if not self.signed:
+            return value
+        if value < 0:
+            return (1 << (width - 1)) | -value
+        return value
+
+    # -- layout queries -------------------------------------------------
+    def locate(self, j: int) -> tuple[int, int]:
+        return self.layout.locate(j)
+
+    def level_of(self, j: int) -> int:
+        return self.layout.level_of(j)
+
+    def counters(self):
+        return self.layout.counters()
+
+    # -- structure ------------------------------------------------------
+    def merge_up(self, start: int, level: int) -> tuple[int, int]:
+        return self.layout.merge_up(start, level)
+
+    def split(self, start: int, level: int) -> int:
+        return self.layout.split(start, level)
+
+    # -- values ---------------------------------------------------------
+    def read_block(self, start: int, level: int) -> int:
+        width = self.s << level
+        return self._decode(self.store.read(start * self.s, width), width)
+
+    def write_block(self, start: int, level: int, value: int) -> None:
+        width = self.s << level
+        self.store.write(start * self.s, width, self._encode(value, width))
+
+    def read_many(self, idxs) -> np.ndarray:
+        if isinstance(idxs, np.ndarray):
+            idxs = idxs.tolist()
+        read = self.read
+        return np.fromiter((read(j) for j in idxs), dtype=np.int64,
+                           count=len(idxs))
+
+    # -- bulk -----------------------------------------------------------
+    def _gather_blocks(self, idxs, values) -> dict[int, list]:
+        """Aggregate a batch into ``start -> [level, net, mag]``."""
+        if isinstance(idxs, np.ndarray):
+            idxs = idxs.tolist()
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        per_block: dict[int, list] = {}
+        locate = self.layout.locate
+        for j, v in zip(idxs, values):
+            level, start = locate(j)
+            entry = per_block.get(start)
+            if entry is None:
+                per_block[start] = [level, v, abs(v)]
+            else:
+                entry[1] += v
+                entry[2] += abs(v)
+        return per_block
+
+    def _block_is_mergefree(self, start: int, level: int, net: int,
+                            mag: int) -> bool:
+        """Every interleaving of this counter's deltas stays in range."""
+        width = self.s << level
+        if not self.signed and net != mag:
+            # A negative delta: per-item adds clamp at zero, so
+            # summation would not be equivalent.
+            return False
+        cur = self.read_block(start, level)
+        if not field_fits(cur + mag, width, self.signed):
+            return False
+        if self.signed and not field_fits(cur - mag, width, self.signed):
+            return False
+        return True
+
+    def add_batch(self, idxs, values, apply: bool = True) -> bool:
+        per_block = self._gather_blocks(idxs, values)
+        writes = []
+        for start, (level, net, mag) in per_block.items():
+            if not self._block_is_mergefree(start, level, net, mag):
+                return False
+            if net:
+                writes.append((start, level,
+                               self.read_block(start, level) + net))
+        if not apply:
+            return True
+        for start, level, value in writes:
+            self.write_block(start, level, value)
+        return True
+
+    def plan_add_batch(self, idxs, values) -> BatchPlan:
+        per_block = self._gather_blocks(idxs, values)
+        dirty: set[int] = set()
+        for start, (level, net, mag) in per_block.items():
+            if not self._block_is_mergefree(start, level, net, mag):
+                dirty.add(start >> self.max_level)
+        if not dirty:
+            return BatchPlan(None, per_block)
+        mask = np.zeros(self.w >> self.max_level, dtype=bool)
+        mask[list(dirty)] = True
+        return BatchPlan(mask, per_block)
+
+    def apply_plan(self, plan: BatchPlan) -> None:
+        mask = plan.dirty_mask
+        for start, (level, net, _mag) in plan.data.items():
+            if net and (mask is None or not mask[start >> self.max_level]):
+                self.write_block(start, level,
+                                 self.read_block(start, level) + net)
+
+    # -- accounting / lifecycle ----------------------------------------
+    @property
+    def overhead_bits(self) -> int:
+        return self.layout.overhead_bits
+
+    def copy(self) -> "BitPackedEngine":
+        out = BitPackedEngine(self.w, self.s, self.max_level,
+                              self.signed, self.encoding)
+        out.store = self.store.copy()
+        out.layout = self.layout.copy()
+        return out
+
+
+class VectorRowEngine(RowEngine):
+    """NumPy row materialization: decoded values + per-slot levels.
+
+    Representation invariants:
+
+    * ``levels[j]`` is the merge level of the counter containing ``j``;
+    * ``starts[j]`` is that counter's block start;
+    * ``values[j]`` is that counter's decoded value -- duplicated
+      across every slot of a merged block, so point reads, gathers, and
+      scatter-adds never consult the layout.
+
+    Unsigned rows store ``uint64`` (a saturated 64-bit counter holds
+    ``2^64 - 1``); Count-Sketch rows store ``int64``.
+    """
+
+    name = "vector"
+
+    def __init__(self, w: int, s: int, max_level: int,
+                 signed: bool = False, encoding: str = SIMPLE):
+        super().__init__(w, s, max_level, signed, encoding)
+        self.levels = np.zeros(w, dtype=np.int64)
+        self.starts = np.arange(w, dtype=np.int64)
+        self.values = np.zeros(w, dtype=np.int64 if signed else np.uint64)
+
+    # -- layout queries -------------------------------------------------
+    def locate(self, j: int) -> tuple[int, int]:
+        return int(self.levels[j]), int(self.starts[j])
+
+    def level_of(self, j: int) -> int:
+        return int(self.levels[j])
+
+    def counters(self):
+        j = 0
+        w = self.w
+        levels = self.levels
+        while j < w:
+            level = int(levels[j])
+            yield j, level
+            j += 1 << level
+
+    # -- structure ------------------------------------------------------
+    def merge_up(self, start: int, level: int) -> tuple[int, int]:
+        if level >= self.max_level:
+            raise ValueError(
+                f"counter at level {level} cannot merge past max_level "
+                f"{self.max_level}"
+            )
+        new_level = level + 1
+        new_start = (start >> new_level) << new_level
+        end = new_start + (1 << new_level)
+        self.levels[new_start:end] = new_level
+        self.starts[new_start:end] = new_start
+        return new_level, new_start
+
+    def split(self, start: int, level: int) -> int:
+        if level < 1:
+            raise ValueError("cannot split an unmerged counter")
+        new_level = level - 1
+        half = 1 << new_level
+        self.levels[start:start + 2 * half] = new_level
+        self.starts[start:start + half] = start
+        self.starts[start + half:start + 2 * half] = start + half
+        return new_level
+
+    # -- values ---------------------------------------------------------
+    def read(self, j: int) -> int:
+        return int(self.values[j])
+
+    def read_block(self, start: int, level: int) -> int:
+        return int(self.values[start])
+
+    def write_block(self, start: int, level: int, value: int) -> None:
+        self.values[start:start + (1 << level)] = value
+
+    def read_many(self, idxs) -> np.ndarray:
+        idxs = np.ascontiguousarray(idxs, dtype=np.int64)
+        return self.values[idxs].astype(np.int64, copy=False)
+
+    # -- bulk -----------------------------------------------------------
+    def _batch_plan(self, idxs, values):
+        """Aggregate a batch per live counter and run the merge-free
+        check; returns ``(ustarts, net, ok)`` arrays (one entry per
+        touched counter)."""
+        idxs = np.ascontiguousarray(idxs, dtype=np.int64)
+        vals = np.ascontiguousarray(values, dtype=np.int64)
+        starts = self.starts[idxs]
+        amag = np.abs(vals)
+        # Path choice via a float64 sum: it cannot wrap, and either
+        # branch is exact -- this only decides which one runs.
+        if float(amag.sum(dtype=np.float64)) < float(1 << 52):
+            # Aggregate deltas per live counter with bincount: float64
+            # sums of integers are exact while every partial sum stays
+            # below 2^53, which the total-magnitude guard ensures.
+            net_f = np.bincount(starts, weights=vals, minlength=self.w)
+            mag_f = np.bincount(starts, weights=amag, minlength=self.w)
+            ustarts = np.flatnonzero(mag_f)
+            net = net_f[ustarts].astype(np.int64)
+            mag = mag_f[ustarts].astype(np.int64)
+        else:
+            # Huge-magnitude batches: sort + segmented sums, an
+            # int64-exact groupby.
+            order = np.argsort(starts, kind="stable")
+            s_sorted = starts[order]
+            v_sorted = vals[order]
+            head = np.empty(s_sorted.size, dtype=bool)
+            head[0] = True
+            np.not_equal(s_sorted[1:], s_sorted[:-1], out=head[1:])
+            first = np.flatnonzero(head)
+            ustarts = s_sorted[first]
+            net = np.add.reduceat(v_sorted, first)
+            mag = np.add.reduceat(np.abs(v_sorted), first)
+        widths = (self.s << self.levels[ustarts]).astype(np.uint64)
+        if self.signed:
+            # |cur +- mag| must stay within the sign-magnitude bound.
+            bound = ((np.uint64(1) << (widths - np.uint64(1)))
+                     - np.uint64(1)).astype(np.int64)
+            cur = self.values[ustarts]
+            ok = (cur <= bound - mag) & (cur >= mag - bound)
+        else:
+            # limit = 2^width - 1 without overflowing uint64 at width 64.
+            half = (np.uint64(1) << (widths - np.uint64(1))) - np.uint64(1)
+            limit = half * np.uint64(2) + np.uint64(1)
+            mag_u = mag.astype(np.uint64)
+            cur = self.values[ustarts]
+            ok = (mag_u <= limit) & (cur <= limit - mag_u)
+            # A negative delta clamps at zero in the per-item path, so
+            # summation would not be equivalent there.
+            ok &= net == mag
+        return ustarts, net, ok
+
+    def _apply_plan(self, ustarts, net) -> None:
+        """Vectorized scatter-add of per-counter deltas, propagated
+        across each merged block (values stay duplicated)."""
+        add_vals = net if self.signed else net.astype(np.uint64)
+        blk_levels = self.levels[ustarts]
+        for lv in np.unique(blk_levels).tolist():
+            sel = blk_levels == lv
+            st = ustarts[sel]
+            dv = add_vals[sel]
+            for off in range(1 << lv):
+                self.values[st + off] += dv
+
+    def add_batch(self, idxs, values, apply: bool = True) -> bool:
+        if len(idxs) == 0:
+            return True
+        ustarts, net, ok = self._batch_plan(idxs, values)
+        if not ok.all():
+            return False
+        if apply:
+            self._apply_plan(ustarts, net)
+        return True
+
+    def plan_add_batch(self, idxs, values) -> BatchPlan:
+        if len(idxs) == 0:
+            return BatchPlan(None, None)
+        ustarts, net, ok = self._batch_plan(idxs, values)
+        if ok.all():
+            return BatchPlan(None, (ustarts, net))
+        mask = np.zeros(self.w >> self.max_level, dtype=bool)
+        mask[(ustarts[~ok] >> self.max_level)] = True
+        keep = ~mask[ustarts >> self.max_level]
+        return BatchPlan(mask, (ustarts[keep], net[keep]))
+
+    def apply_plan(self, plan: BatchPlan) -> None:
+        if plan.data is not None:
+            self._apply_plan(*plan.data)
+
+    # -- accounting / lifecycle ----------------------------------------
+    @property
+    def overhead_bits(self) -> int:
+        """Same charge as the emulated bit-packed encoding, so both
+        engines report identical ``memory_bits`` on every row."""
+        if self.encoding == SIMPLE:
+            return self.w
+        return _compact_overhead_bits(self.w, self.max_level)
+
+    def copy(self) -> "VectorRowEngine":
+        out = VectorRowEngine(self.w, self.s, self.max_level,
+                              self.signed, self.encoding)
+        out.levels[:] = self.levels
+        out.starts[:] = self.starts
+        out.values[:] = self.values
+        return out
+
+
+#: name -> engine class (SalsaRow storage backends).
+ENGINES: dict[str, type[RowEngine]] = {
+    BitPackedEngine.name: BitPackedEngine,
+    VectorRowEngine.name: VectorRowEngine,
+}
+
+
+def make_engine(name: str | None, w: int, s: int, max_level: int,
+                signed: bool = False, encoding: str = SIMPLE) -> RowEngine:
+    """Instantiate the engine registered under ``name`` (None = default)."""
+    return ENGINES[resolve_engine(name)](w, s, max_level, signed, encoding)

@@ -1,33 +1,41 @@
-"""A single SALSA row: bit-packed counters that merge on overflow.
+"""A single SALSA row: self-adjusting counters that merge on overflow.
 
 This is the engine under every SALSA sketch.  A row owns ``w`` base
-slots of ``s`` bits in a :class:`~repro.bitvec.BitArray` plus a layout
-(:class:`~repro.core.layout.MergeBitLayout` or
-:class:`~repro.core.compact.CompactLayout`).  A counter that can no
-longer represent its value merges with its sibling block -- combining
-values by **sum** (Strict Turnstile-safe; Thm V.1) or **max** (Cash
-Register; Thms V.2/V.3) -- doubling its width, up to ``max_bits``.
+slots of ``s`` bits; a counter that can no longer represent its value
+merges with its sibling block -- combining values by **sum** (Strict
+Turnstile-safe; Thm V.1) or **max** (Cash Register; Thms V.2/V.3) --
+doubling its width, up to ``max_bits``.
 
 Count Sketch rows use **sign-magnitude** fields (the paper's §V "Count
 Sketch" change): the top bit of the field is the sign, so overflow is
 symmetric in sign, which is what makes SALSA CS unbiased (Lemma V.4).
+
+The *physical* storage is pluggable (:mod:`repro.core.engines`):
+``SalsaRow`` owns the merge policy and overflow decisions, while a
+:class:`~repro.core.engines.RowEngine` holds the counters -- either
+the paper's bit-packed encoding (``engine="bitpacked"``, the default)
+or a NumPy materialization (``engine="vector"``) whose bulk paths
+vectorize.  Both are observationally identical on every stream.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.bitvec import BitArray
-from repro.core.compact import CompactLayout
-from repro.core.layout import MergeBitLayout
+from repro.core.engines import (
+    COMPACT,
+    SIMPLE,
+    BitPackedEngine,
+    field_fits,
+    make_engine,
+    resolve_engine,
+)
 
 #: Merge policies.
 SUM = "sum"
 MAX = "max"
 
-#: Layout encodings.
-SIMPLE = "simple"
-COMPACT = "compact"
+__all__ = ["SUM", "MAX", "SIMPLE", "COMPACT", "SalsaRow"]
 
 
 class SalsaRow:
@@ -50,6 +58,9 @@ class SalsaRow:
         opposite signs").
     encoding:
         ``"simple"`` (1 bit/counter) or ``"compact"`` (~0.594).
+    engine:
+        ``"bitpacked"`` (reference) or ``"vector"`` (NumPy bulk paths);
+        ``None`` uses :func:`repro.core.engines.get_default_engine`.
 
     Examples
     --------
@@ -64,7 +75,7 @@ class SalsaRow:
 
     def __init__(self, w: int, s: int = 8, max_bits: int = 64,
                  merge: str = MAX, signed: bool = False,
-                 encoding: str = SIMPLE):
+                 encoding: str = SIMPLE, engine: str | None = None):
         if w < 2 or w & (w - 1):
             raise ValueError(f"w must be a power of two >= 2, got {w}")
         if s < 2 or s & (s - 1) or s > 64:
@@ -75,6 +86,8 @@ class SalsaRow:
             raise ValueError(f"merge must be 'sum' or 'max', got {merge!r}")
         if signed and merge != SUM:
             raise ValueError("signed (Count Sketch) rows must sum-merge")
+        if encoding not in (SIMPLE, COMPACT):
+            raise ValueError(f"unknown encoding {encoding!r}")
         max_level = 0
         while s << (max_level + 1) <= max_bits and (1 << (max_level + 1)) <= w:
             max_level += 1
@@ -85,42 +98,37 @@ class SalsaRow:
         self.merge = merge
         self.signed = signed
         self.encoding = encoding
-        self.store = BitArray(w * s)
-        if encoding == SIMPLE:
-            self.layout = MergeBitLayout(w, max_level)
-        elif encoding == COMPACT:
-            self.layout = CompactLayout(w, max_level)
-        else:
-            raise ValueError(f"unknown encoding {encoding!r}")
+        self.engine_name = resolve_engine(engine)
+        self.engine = make_engine(self.engine_name, w, s, max_level,
+                                  signed=signed, encoding=encoding)
         #: Counts of overflow->merge events (exposed for experiments).
         self.merge_events = 0
         #: Counts of saturations at max_bits (should stay 0 in practice).
         self.saturations = 0
 
     # ------------------------------------------------------------------
-    # field codec
+    # storage passthrough (bit-packed engine only; kept for serializers
+    # and tests that inspect the reference representation)
     # ------------------------------------------------------------------
-    def _decode(self, raw: int, width: int) -> int:
-        """Raw field bits -> value (sign-magnitude when signed)."""
-        if not self.signed:
-            return raw
-        magnitude = raw & ((1 << (width - 1)) - 1)
-        return -magnitude if raw >> (width - 1) else magnitude
+    @property
+    def store(self):
+        """The bit-packed payload buffer (reference engine only)."""
+        return self.engine.store
 
-    def _encode(self, value: int, width: int) -> int:
-        """Value -> raw field bits."""
-        if not self.signed:
-            return value
-        if value < 0:
-            return (1 << (width - 1)) | -value
-        return value
+    @property
+    def layout(self):
+        """The merge layout.  For the vector engine this is the engine
+        itself, which answers the same ``locate``/``level_of``/
+        ``counters`` queries."""
+        engine = self.engine
+        return engine.layout if isinstance(engine, BitPackedEngine) else engine
 
+    # ------------------------------------------------------------------
+    # value-domain helpers (engine-independent semantics)
+    # ------------------------------------------------------------------
     def _fits(self, value: int, width: int) -> bool:
         """Can ``value`` be represented in a ``width``-bit field?"""
-        if self.signed:
-            # Sign-magnitude: overflow past |2^(w-1) - 1|, symmetric.
-            return abs(value) <= (1 << (width - 1)) - 1
-        return 0 <= value < (1 << width)
+        return field_fits(value, width, self.signed)
 
     def _clamp(self, value: int, width: int) -> int:
         """Saturate ``value`` into a ``width``-bit field."""
@@ -134,31 +142,36 @@ class SalsaRow:
     # ------------------------------------------------------------------
     def read(self, j: int) -> int:
         """Value of the counter containing base slot ``j``."""
-        level, start = self.layout.locate(j)
-        width = self.s << level
-        return self._decode(self.store.read(start * self.s, width), width)
+        return self.engine.read(j)
 
     def level_of(self, j: int) -> int:
         """Merge level of the counter containing slot ``j``."""
-        return self.layout.level_of(j)
+        return self.engine.level_of(j)
+
+    def locate(self, j: int) -> tuple[int, int]:
+        """(level, block_start) of the counter containing slot ``j``."""
+        return self.engine.locate(j)
 
     def read_block(self, start: int, level: int) -> int:
         """Value of the (known-located) counter at (start, level)."""
-        width = self.s << level
-        return self._decode(self.store.read(start * self.s, width), width)
+        return self.engine.read_block(start, level)
+
+    def read_many(self, idxs):
+        """int64 array of values of the counters containing each slot."""
+        return self.engine.read_many(idxs)
 
     def _write_block(self, start: int, level: int, value: int) -> None:
-        width = self.s << level
-        self.store.write(start * self.s, width, self._encode(value, width))
+        self.engine.write_block(start, level, value)
 
     def _block_values(self, start: int, level: int) -> list[int]:
         """Values of all live counters inside ``[start, start + 2^level)``."""
+        engine = self.engine
         values = []
         j = start
         end = start + (1 << level)
         while j < end:
-            lvl, st = self.layout.locate(j)
-            values.append(self.read_block(st, lvl))
+            lvl, st = engine.locate(j)
+            values.append(engine.read_block(st, lvl))
             j = st + (1 << lvl)
         return values
 
@@ -180,7 +193,7 @@ class SalsaRow:
             value = value + sum(others)
         else:
             value = max(value, *others)
-        self.layout.merge_up(start, level)
+        self.engine.merge_up(start, level)
         self.merge_events += 1
         return new_start, new_level, value
 
@@ -190,8 +203,8 @@ class SalsaRow:
         Merges as many times as needed for the result to fit; saturates
         at ``max_bits``.  Returns the counter's new value.
         """
-        level, start = self.layout.locate(j)
-        value = self.read_block(start, level) + v
+        level, start = self.engine.locate(j)
+        value = self.engine.read_block(start, level) + v
         if not self.signed and value < 0:
             # Strict Turnstile counters never go negative; clamp so a
             # (mis-ordered) deletion cannot trigger runaway merging.
@@ -202,53 +215,54 @@ class SalsaRow:
                 self.saturations += 1
                 break
             start, level, value = self._grow(start, level, value)
-        self._write_block(start, level, value)
+        self.engine.write_block(start, level, value)
         return value
 
-    def add_batch(self, idxs, values) -> bool:
+    def add_batch(self, idxs, values, apply: bool = True) -> bool:
         """Try to apply a pre-aggregated batch of adds without merging.
 
-        ``idxs``/``values`` are parallel lists of base-slot indices and
-        deltas (duplicates allowed).  The batch is applied only if it is
-        provably *merge-free*: for every touched counter, the current
-        value plus the batch's total absolute inflow still fits the
-        counter's width.  Under that condition every interleaving of
-        the individual adds stays in range, so plain summation is
-        bit-identical to any per-item order -- including the original
-        stream order the caller collapsed duplicates out of.
+        ``idxs``/``values`` are parallel sequences (lists or numpy
+        arrays) of base-slot indices and deltas (duplicates allowed).
+        The batch is applied only if it is provably *merge-free*: for
+        every touched counter, the current value plus the batch's total
+        absolute inflow still fits the counter's width.  Under that
+        condition every interleaving of the individual adds stays in
+        range, so plain summation is bit-identical to any per-item
+        order -- including the original stream order the caller
+        collapsed duplicates out of.
 
         Returns ``True`` if applied (all-or-nothing); ``False`` if some
         counter could overflow, in which case the row is untouched and
         the caller must replay the batch through :meth:`add` in stream
-        order.
+        order.  ``apply=False`` runs the check without writing (used to
+        make a batch atomic across several rows).
         """
-        per_block: dict[int, list] = {}
-        locate = self.layout.locate
-        for j, v in zip(idxs, values):
-            level, start = locate(j)
-            entry = per_block.get(start)
-            if entry is None:
-                per_block[start] = [level, v, abs(v)]
-            else:
-                entry[1] += v
-                entry[2] += abs(v)
-        writes = []
-        for start, (level, net, mag) in per_block.items():
-            width = self.s << level
-            if not self.signed and net != mag:
-                # Negative deltas clamp at zero in `add`; summation
-                # would not be equivalent, so demand the exact path.
-                return False
-            cur = self.read_block(start, level)
-            if not self._fits(cur + mag, width):
-                return False
-            if self.signed and not self._fits(cur - mag, width):
-                return False
-            if net:
-                writes.append((start, level, cur + net))
-        for start, level, value in writes:
-            self._write_block(start, level, value)
-        return True
+        return self.engine.add_batch(idxs, values, apply=apply)
+
+    def add_batch_partial(self, idxs, values, apply: bool = True):
+        """Apply the merge-free portion of a batch at superblock
+        granularity.
+
+        Counters merge only within their ``2^max_level``-aligned
+        superblock, so superblocks are independent streams: every
+        superblock whose touched counters all pass the merge-free check
+        is bulk-applied, and a boolean mask over the ``w >> max_level``
+        superblocks flags the *dirty* rest (untouched -- the caller
+        replays exactly the updates landing there, in stream order).
+        Returns ``None`` when the whole batch applied.
+        """
+        return self.engine.add_batch_partial(idxs, values, apply=apply)
+
+    def plan_add_batch(self, idxs, values):
+        """Aggregate + merge-free-check a batch without writing; the
+        returned plan applies later via :meth:`apply_batch_plan` (valid
+        until the row mutates).  Lets a check pass on several rows
+        before any row writes, without planning twice."""
+        return self.engine.plan_add_batch(idxs, values)
+
+    def apply_batch_plan(self, plan) -> None:
+        """Write a plan's clean-superblock deltas (dirty untouched)."""
+        self.engine.apply_plan(plan)
 
     def set_at_least(self, j: int, target: int) -> int:
         """Raise the counter containing ``j`` to at least ``target``.
@@ -259,8 +273,8 @@ class SalsaRow:
         """
         if self.merge != MAX:
             raise ValueError("set_at_least requires a max-merge row")
-        level, start = self.layout.locate(j)
-        value = self.read_block(start, level)
+        level, start = self.engine.locate(j)
+        value = self.engine.read_block(start, level)
         if value >= target:
             return value
         value = target
@@ -270,7 +284,7 @@ class SalsaRow:
                 self.saturations += 1
                 break
             start, level, value = self._grow(start, level, value)
-        self._write_block(start, level, value)
+        self.engine.write_block(start, level, value)
         return value
 
     # ------------------------------------------------------------------
@@ -278,8 +292,9 @@ class SalsaRow:
     # ------------------------------------------------------------------
     def counters(self):
         """Yield ``(start, level, value)`` for every live counter."""
-        for start, level in self.layout.counters():
-            yield start, level, self.read_block(start, level)
+        engine = self.engine
+        for start, level in engine.counters():
+            yield start, level, engine.read_block(start, level)
 
     def ensure_level(self, j: int, target_level: int) -> tuple[int, int]:
         """Merge until the counter containing ``j`` spans >= target_level.
@@ -287,13 +302,28 @@ class SalsaRow:
         Used when merging two SALSA sketches: the result's layout must
         cover both inputs' layouts.  Returns (level, start).
         """
-        level, start = self.layout.locate(j)
+        level, start = self.engine.locate(j)
         while level < target_level:
-            value = self.read_block(start, level)
+            value = self.engine.read_block(start, level)
             start, level, value = self._grow(start, level, value)
             value = self._clamp(value, self.s << level)
-            self._write_block(start, level, value)
+            self.engine.write_block(start, level, value)
         return level, start
+
+    def _force_level(self, start: int, level: int) -> None:
+        """Coarsen the layout to (start, level) without touching values
+        (they are about to be overwritten; serialization import path)."""
+        lv, st = self.engine.locate(start)
+        while lv < level:
+            lv, st = self.engine.merge_up(st, lv)
+
+    def import_counters(self, counters) -> None:
+        """Rebuild this (empty) row from decoded ``(start, level,
+        value)`` triples -- the engine-independent interchange form."""
+        for start, level, value in counters:
+            if level:
+                self._force_level(start, level)
+            self.engine.write_block(start, level, value)
 
     def scale_down_half(self, rng=None) -> None:
         """Halve every counter (AEE downsampling).
@@ -316,7 +346,7 @@ class SalsaRow:
                     half = int(rng.gauss(mag / 2, math.sqrt(mag) / 2) + 0.5)
                     half = min(mag, max(0, half))
                 new = half if value > 0 else -half
-            self._write_block(start, level, new)
+            self.engine.write_block(start, level, new)
 
     def try_split(self, start: int, level: int) -> bool:
         """Split a merged counter into two halves holding its value.
@@ -329,13 +359,13 @@ class SalsaRow:
             raise ValueError("splitting requires a max-merge row")
         if level < 1:
             return False
-        value = self.read_block(start, level)
+        value = self.engine.read_block(start, level)
         if not self._fits(value, self.s << (level - 1)):
             return False
-        new_level = self.layout.split(start, level)
+        new_level = self.engine.split(start, level)
         half = 1 << new_level
-        self._write_block(start, new_level, value)
-        self._write_block(start + half, new_level, value)
+        self.engine.write_block(start, new_level, value)
+        self.engine.write_block(start + half, new_level, value)
         return True
 
     def zero_base_slots_unmerged(self) -> tuple[int, int]:
@@ -360,7 +390,7 @@ class SalsaRow:
         ``2^level - 1`` are zero.
         """
         slack = 0
-        for _start, level in self.layout.counters():
+        for _start, level in self.engine.counters():
             if level > 0:
                 slack += (1 << level) - 1
         return slack
@@ -368,20 +398,24 @@ class SalsaRow:
     # ------------------------------------------------------------------
     @property
     def memory_bits(self) -> int:
-        """Counter payload plus encoding overhead, in bits."""
-        return self.w * self.s + self.layout.overhead_bits
+        """Counter payload plus encoding overhead, in bits.
+
+        Engine-independent by contract: the vector engine charges the
+        same bits as the bit-packed encoding it emulates.
+        """
+        return self.w * self.s + self.engine.overhead_bits
 
     def copy(self) -> "SalsaRow":
-        """Deep copy."""
+        """Deep copy (same engine)."""
         out = SalsaRow(w=self.w, s=self.s, max_bits=self.max_bits,
                        merge=self.merge, signed=self.signed,
-                       encoding=self.encoding)
-        out.store = self.store.copy()
-        out.layout = self.layout.copy()
+                       encoding=self.encoding, engine=self.engine_name)
+        out.engine = self.engine.copy()
         out.merge_events = self.merge_events
         out.saturations = self.saturations
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"SalsaRow(w={self.w}, s={self.s}, max_bits={self.max_bits}, "
-                f"merge={self.merge!r}, signed={self.signed})")
+                f"merge={self.merge!r}, signed={self.signed}, "
+                f"engine={self.engine_name!r})")

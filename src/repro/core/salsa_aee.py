@@ -31,14 +31,13 @@ from __future__ import annotations
 import math
 import random
 
-import numpy as np
-
 from repro.hashing import HashFamily, mix64
 from repro.core.row import MAX, SIMPLE, SalsaRow
 from repro.sketches.base import (
     BatchOpsMixin,
     StreamModel,
     as_batch,
+    batch_sum_fits,
     batched_min_query,
     width_for_memory,
 )
@@ -68,7 +67,8 @@ class SalsaAeeCountMin(BatchOpsMixin):
     def __init__(self, w: int, d: int = 4, s: int = 8, max_bits: int = 64,
                  delta: float = 0.001, downsample_first: int = 0,
                  split: bool = False, probabilistic: bool = True,
-                 seed: int = 0, hash_family: HashFamily | None = None):
+                 seed: int = 0, hash_family: HashFamily | None = None,
+                 engine: str | None = None):
         if not 0 < delta < 1:
             raise ValueError(f"delta must be in (0, 1), got {delta}")
         self.w = w
@@ -81,9 +81,11 @@ class SalsaAeeCountMin(BatchOpsMixin):
         self._forced_downsamples = downsample_first
         self.hashes = hash_family if hash_family is not None else HashFamily(d, seed)
         self.rows = [
-            SalsaRow(w=w, s=s, max_bits=max_bits, merge=MAX, encoding=SIMPLE)
+            SalsaRow(w=w, s=s, max_bits=max_bits, merge=MAX,
+                     encoding=SIMPLE, engine=engine)
             for _ in range(d)
         ]
+        self.engine_name = self.rows[0].engine_name
         self.p = 1.0
         self.volume = 0
         self.top_level = 0
@@ -137,7 +139,7 @@ class SalsaAeeCountMin(BatchOpsMixin):
                 changed = True
                 while changed:
                     changed = False
-                    for start, level in list(row.layout.counters()):
+                    for start, level in list(row.engine.counters()):
                         if level > 0 and row.try_split(start, level):
                             changed = True
 
@@ -162,7 +164,7 @@ class SalsaAeeCountMin(BatchOpsMixin):
             # Would this increment overflow a largest-size counter?
             top_overflow = False
             for row, idx in zip(self.rows, idxs):
-                level, start = row.layout.locate(idx)
+                level, start = row.locate(idx)
                 value = row.read_block(start, level) + 1
                 if row._fits(value, row.s << level):
                     continue
@@ -198,12 +200,22 @@ class SalsaAeeCountMin(BatchOpsMixin):
     def update_many(self, items, values=None) -> None:
         """Batched update with vectorized hashing.
 
-        AEE's datapath is inherently sequential -- the sampling RNG,
+        AEE's datapath is sequential in general -- the sampling RNG,
         overflow decisions, and downsampling events depend on arrival
-        order -- so the batch walks items one by one, but all ``d``
-        hashes per item come from one vectorized call per row, computed
-        up front.  RNG consumption is unchanged, so the result is
-        bit-identical to the per-item path.
+        order.  But while ``p == 1`` the only order-dependent event is
+        a *policy decision*, and one can only fire when a counter at
+        level >= ``top_level`` overflows.  If every dirty superblock's
+        total mass (live counters plus batch inflow) stays below the
+        ``top_level`` counter capacity, no counter can ever reach a
+        top-level overflow during the batch: no policy, no RNG draw,
+        no downsampling.  Then merge-free superblocks collapse to one
+        vectorized scatter-add per row and only the dirty ones replay
+        in stream order (their sub-top merges are order-local), which
+        is bit-identical to the per-item walk.
+
+        Otherwise the batch walks items one by one with all ``d``
+        hashes pre-computed vectorized.  RNG consumption is unchanged,
+        so the result stays bit-identical to the per-item path.
 
         Once the sampler is active (p < 1), pre-hashing would pay for
         updates the sampling test discards -- the opposite of AEE's
@@ -218,13 +230,67 @@ class SalsaAeeCountMin(BatchOpsMixin):
         if self.p < 1.0 or self.hashes.uses_bobhash:
             BatchOpsMixin.update_many(self, items, values)
             return
-        idx_rows = [self.hashes.index_many(items, row_id, self.w).tolist()
-                    for row_id in range(self.d)]
+        idx_arrays = [self.hashes.index_many(items, row_id, self.w)
+                      for row_id in range(self.d)]
+        if (batch_sum_fits(values)
+                and self._try_batch_apply(idx_arrays, values)):
+            self.volume += int(values.sum())
+            return
+        idx_rows = [idxs.tolist() for idxs in idx_arrays]
         for t, (item, v) in enumerate(zip(items.tolist(), values.tolist())):
             self.volume += v
             idxs = [idx_row[t] for idx_row in idx_rows]
             for _ in range(v):
                 self._update_one(item, idxs)
+
+    def _superblock_mass(self, row, sb: int) -> int:
+        """Total value of the live counters in one superblock of a row
+        (an upper bound, with inflow, on any counter it can produce)."""
+        base = sb << row.max_level
+        end = base + (1 << row.max_level)
+        total = 0
+        j = base
+        while j < end:
+            level, start = row.locate(j)
+            total += row.read_block(start, level)
+            j = start + (1 << level)
+        return total
+
+    def _try_batch_apply(self, idx_arrays, values) -> bool:
+        """Bulk-apply one batch if no policy decision can fire.
+
+        Valid only at ``p == 1``.  First proves that no counter can
+        overflow at level >= ``top_level`` (every dirty superblock's
+        mass plus inflow fits the top-level capacity); sub-top merges
+        are then the only side effects, and those are confined to their
+        superblock.  Merge-free superblocks scatter-add; dirty ones
+        replay in stream order.  Returns False (row state untouched)
+        when the proof fails, sending the batch down the ordered walk.
+        """
+        rows = self.rows
+        plans = [row.plan_add_batch(idxs, values)
+                 for row, idxs in zip(rows, idx_arrays)]
+        threshold = (1 << (self.s << self.top_level)) - 1
+        for row, idxs, plan in zip(rows, idx_arrays, plans):
+            if plan.dirty_mask is None:
+                continue
+            sb_ids = idxs >> row.max_level
+            sel = plan.dirty_mask[sb_ids]
+            inflow: dict[int, int] = {}
+            for sb, v in zip(sb_ids[sel].tolist(), values[sel].tolist()):
+                inflow[sb] = inflow.get(sb, 0) + v
+            for sb, flow in inflow.items():
+                if self._superblock_mass(row, sb) + flow > threshold:
+                    return False
+        for row, idxs, plan in zip(rows, idx_arrays, plans):
+            row.apply_batch_plan(plan)  # clean superblocks, no re-plan
+            if plan.dirty_mask is None:
+                continue
+            sel = plan.dirty_mask[idxs >> row.max_level]
+            add = row.add
+            for j, v in zip(idxs[sel].tolist(), values[sel].tolist()):
+                add(j, v)
+        return True
 
     def query_many(self, items) -> list:
         """Batched query: deduped, one hash call per row, scaled by p."""
@@ -233,9 +299,7 @@ class SalsaAeeCountMin(BatchOpsMixin):
 
         def row_values(row_id, uniq):
             idxs = self.hashes.index_many(uniq, row_id, self.w)
-            read = self.rows[row_id].read
-            return np.fromiter((read(j) for j in idxs.tolist()),
-                               dtype=np.int64, count=len(uniq))
+            return self.rows[row_id].read_many(idxs)
 
         p = self.p
         return [e / p for e in batched_min_query(items, self.d, row_values)]

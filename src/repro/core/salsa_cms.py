@@ -15,8 +15,6 @@ verify on random streams.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.hashing import HashFamily, mix64
 from repro.core.row import COMPACT, MAX, SIMPLE, SUM, SalsaRow
 from repro.core.tango import TangoRow
@@ -49,6 +47,9 @@ class SalsaCountMin(BatchOpsMixin):
         ``"simple"`` (1 bit/counter) or ``"compact"`` (~0.594).
     max_bits:
         Counter growth ceiling (paper: up to 64).
+    engine:
+        Row storage backend: ``"bitpacked"`` (reference) or
+        ``"vector"`` (NumPy bulk paths); ``None`` = process default.
 
     Examples
     --------
@@ -63,7 +64,8 @@ class SalsaCountMin(BatchOpsMixin):
 
     def __init__(self, w: int, d: int = 4, s: int = 8, merge: str = MAX,
                  encoding: str = SIMPLE, max_bits: int = 64, seed: int = 0,
-                 hash_family: HashFamily | None = None):
+                 hash_family: HashFamily | None = None,
+                 engine: str | None = None):
         self.w = w
         self.d = d
         self.s = s
@@ -71,24 +73,28 @@ class SalsaCountMin(BatchOpsMixin):
         self.hashes = hash_family if hash_family is not None else HashFamily(d, seed)
         self.rows = [
             SalsaRow(w=w, s=s, max_bits=max_bits, merge=merge,
-                     encoding=encoding)
+                     encoding=encoding, engine=engine)
             for _ in range(d)
         ]
+        self.engine_name = self.rows[0].engine_name
         if merge == SUM:
             self.model = StreamModel.STRICT_TURNSTILE
 
     @classmethod
     def for_memory(cls, memory_bytes: int, d: int = 4, s: int = 8,
                    merge: str = MAX, encoding: str = SIMPLE,
-                   seed: int = 0) -> "SalsaCountMin":
+                   seed: int = 0, engine: str | None = None
+                   ) -> "SalsaCountMin":
         """Largest SALSA CMS fitting in ``memory_bytes`` with overheads.
 
         The simple encoding charges 1 overhead bit per counter, the
-        compact one ~0.594 (Appendix A).
+        compact one ~0.594 (Appendix A).  Both engines charge the same
+        bits, so the engine never changes the configured shape.
         """
         overhead = 1.0 if encoding == SIMPLE else 0.594
         w = width_for_memory(memory_bytes, d, s, overhead_bits=overhead)
-        return cls(w=w, d=d, s=s, merge=merge, encoding=encoding, seed=seed)
+        return cls(w=w, d=d, s=s, merge=merge, encoding=encoding, seed=seed,
+                   engine=engine)
 
     # ------------------------------------------------------------------
     def update(self, item: int, value: int = 1) -> None:
@@ -116,11 +122,14 @@ class SalsaCountMin(BatchOpsMixin):
 
         Duplicate keys are pre-aggregated, each row's indices come from
         one vectorized hash call, and counters are bumped through
-        :meth:`SalsaRow.add_batch`.  A row where the batch could
-        trigger a merge replays that row's updates in stream order, so
-        the result is bit-identical to the per-item path.  Batches with
-        negative values (Turnstile deletions) take the exact per-item
-        fallback wholesale.
+        :meth:`SalsaRow.add_batch_partial`: the merge-free superblocks
+        bulk-apply (a vectorized scatter-add on the vector engine), and
+        only updates landing in a superblock where the batch could
+        trigger a merge replay in stream order -- so the result is
+        bit-identical to the per-item path while the exact fallback
+        shrinks to the rare overflowing blocks.  Batches with negative
+        values (Turnstile deletions) take the exact per-item fallback
+        wholesale.
         """
         items, values = as_batch(items, values)
         if len(items) == 0:
@@ -130,18 +139,17 @@ class SalsaCountMin(BatchOpsMixin):
             BatchOpsMixin.update_many(self, items, values)
             return
         uniq, sums = aggregate_batch(items, values)
-        agg_values = sums.tolist()
-        full_values = None
         for row_id, row in enumerate(self.rows):
             idxs = self.hashes.index_many(uniq, row_id, self.w)
-            if row.add_batch(idxs.tolist(), agg_values):
+            dirty = row.add_batch_partial(idxs, sums)
+            if dirty is None:
                 continue
-            # Exact fallback for this row only: original stream order.
-            if full_values is None:
-                full_values = values.tolist()
+            # Exact replay, original stream order, dirty superblocks only.
             full_idxs = self.hashes.index_many(items, row_id, self.w)
-            for j, v in zip(full_idxs.tolist(), full_values):
-                row.add(j, v)
+            sel = dirty[full_idxs >> row.max_level]
+            add = row.add
+            for j, v in zip(full_idxs[sel].tolist(), values[sel].tolist()):
+                add(j, v)
 
     def query_many(self, items) -> list:
         """Batched query: one hash call per row, duplicate keys deduped."""
@@ -150,9 +158,7 @@ class SalsaCountMin(BatchOpsMixin):
 
         def row_values(row_id, uniq):
             idxs = self.hashes.index_many(uniq, row_id, self.w)
-            read = self.rows[row_id].read
-            return np.fromiter((read(j) for j in idxs.tolist()),
-                               dtype=np.int64, count=len(uniq))
+            return self.rows[row_id].read_many(idxs)
 
         return batched_min_query(items, self.d, row_values)
 
@@ -166,7 +172,8 @@ class SalsaCountMin(BatchOpsMixin):
     def max_level(self) -> int:
         """Largest merge level currently present in any row."""
         return max(
-            (level for row in self.rows for _s, level in row.layout.counters()),
+            (level for row in self.rows
+             for _s, level in row.engine.counters()),
             default=0,
         )
 
@@ -201,7 +208,8 @@ class TangoCountMin(BatchOpsMixin):
 
     def __init__(self, w: int, d: int = 4, s: int = 8, merge: str = MAX,
                  max_bits: int = 64, seed: int = 0,
-                 hash_family: HashFamily | None = None):
+                 hash_family: HashFamily | None = None,
+                 engine: str | None = None):
         self.w = w
         self.d = d
         self.s = s
@@ -209,17 +217,20 @@ class TangoCountMin(BatchOpsMixin):
         self.hashes = hash_family if hash_family is not None else HashFamily(d, seed)
         max_slots = max(1, max_bits // s)
         self.rows = [
-            TangoRow(w=w, s=s, max_slots=max_slots, merge=merge)
+            TangoRow(w=w, s=s, max_slots=max_slots, merge=merge,
+                     engine=engine)
             for _ in range(d)
         ]
+        self.engine_name = self.rows[0].engine_name
 
     @classmethod
     def for_memory(cls, memory_bytes: int, d: int = 4, s: int = 8,
-                   merge: str = MAX, seed: int = 0) -> "TangoCountMin":
+                   merge: str = MAX, seed: int = 0,
+                   engine: str | None = None) -> "TangoCountMin":
         """Largest Tango CMS fitting in ``memory_bytes`` (1 overhead
         bit per counter; Tango cannot use the compact encoding)."""
         w = width_for_memory(memory_bytes, d, s, overhead_bits=1.0)
-        return cls(w=w, d=d, s=s, merge=merge, seed=seed)
+        return cls(w=w, d=d, s=s, merge=merge, seed=seed, engine=engine)
 
     def update(self, item: int, value: int = 1) -> None:
         """Add ``value`` to each of the item's counters."""
@@ -236,6 +247,17 @@ class TangoCountMin(BatchOpsMixin):
             if est is None or v < est:
                 est = v
         return est
+
+    def query_many(self, items) -> list:
+        """Batched query: one hash call per row, engine gathers."""
+        if self.hashes.uses_bobhash:
+            return BatchOpsMixin.query_many(self, items)
+
+        def row_values(row_id, uniq):
+            idxs = self.hashes.index_many(uniq, row_id, self.w)
+            return self.rows[row_id].read_many(idxs)
+
+        return batched_min_query(items, self.d, row_values)
 
     @property
     def memory_bytes(self) -> int:

@@ -47,25 +47,28 @@ class SalsaCountSketch(BatchOpsMixin):
 
     def __init__(self, w: int, d: int = 5, s: int = 8,
                  encoding: str = SIMPLE, max_bits: int = 64, seed: int = 0,
-                 hash_family: HashFamily | None = None):
+                 hash_family: HashFamily | None = None,
+                 engine: str | None = None):
         self.w = w
         self.d = d
         self.s = s
         self.hashes = hash_family if hash_family is not None else HashFamily(d, seed)
         self.rows = [
             SalsaRow(w=w, s=s, max_bits=max_bits, merge=SUM, signed=True,
-                     encoding=encoding)
+                     encoding=encoding, engine=engine)
             for _ in range(d)
         ]
+        self.engine_name = self.rows[0].engine_name
 
     @classmethod
     def for_memory(cls, memory_bytes: int, d: int = 5, s: int = 8,
-                   encoding: str = SIMPLE, seed: int = 0
-                   ) -> "SalsaCountSketch":
+                   encoding: str = SIMPLE, seed: int = 0,
+                   engine: str | None = None) -> "SalsaCountSketch":
         """Largest SALSA CS fitting in ``memory_bytes``."""
         overhead = 1.0 if encoding == SIMPLE else 0.594
         w = width_for_memory(memory_bytes, d, s, overhead_bits=overhead)
-        return cls(w=w, d=d, s=s, encoding=encoding, seed=seed)
+        return cls(w=w, d=d, s=s, encoding=encoding, seed=seed,
+                   engine=engine)
 
     # ------------------------------------------------------------------
     def update(self, item: int, value: int = 1) -> None:
@@ -92,11 +95,13 @@ class SalsaCountSketch(BatchOpsMixin):
         """Batched signed update over sign-magnitude SALSA rows.
 
         Keys are pre-aggregated (a key keeps one sign per row, so its
-        updates sum), then each row takes the merge-free
-        :meth:`SalsaRow.add_batch` or replays in stream order.  Batches
-        containing negative update values fall back to the per-item
-        path: cancellation hides the intermediate peaks that decide
-        merges, so only the ordered walk is exact.
+        updates sum), then each row bulk-applies its merge-free
+        superblocks through :meth:`SalsaRow.add_batch_partial` and
+        replays, in stream order, only the updates landing in a
+        superblock that could merge.  Batches containing negative
+        update values fall back to the per-item path: cancellation
+        hides the intermediate peaks that decide merges, so only the
+        ordered walk is exact.
         """
         items, values = as_batch(items, values)
         if len(items) == 0:
@@ -106,21 +111,22 @@ class SalsaCountSketch(BatchOpsMixin):
             BatchOpsMixin.update_many(self, items, values)
             return
         uniq, sums = aggregate_batch(items, values)
-        full_values = None
         for row_id, row in enumerate(self.rows):
             raw = self.hashes.raw_many(uniq, row_id)
             idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
             signed = np.where(raw >> np.uint64(63), sums, -sums)
-            if row.add_batch(idxs.tolist(), signed.tolist()):
+            dirty = row.add_batch_partial(idxs, signed)
+            if dirty is None:
                 continue
-            if full_values is None:
-                full_values = values.tolist()
             raw = self.hashes.raw_many(items, row_id)
             full_idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
+            sel = dirty[full_idxs >> row.max_level]
             top = (raw >> np.uint64(63)).astype(bool)
-            for j, positive, v in zip(full_idxs.tolist(), top.tolist(),
-                                      full_values):
-                row.add(j, v if positive else -v)
+            add = row.add
+            for j, positive, v in zip(full_idxs[sel].tolist(),
+                                      top[sel].tolist(),
+                                      values[sel].tolist()):
+                add(j, v if positive else -v)
 
     def query_many(self, items) -> list:
         """Batched query: per-row votes gathered once, exact median."""
@@ -130,9 +136,7 @@ class SalsaCountSketch(BatchOpsMixin):
         def row_votes(row_id, uniq):
             raw = self.hashes.raw_many(uniq, row_id)
             idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
-            read = self.rows[row_id].read
-            vals = np.fromiter((read(j) for j in idxs.tolist()),
-                               dtype=np.int64, count=len(uniq))
+            vals = self.rows[row_id].read_many(idxs)
             return np.where(raw >> np.uint64(63), vals, -vals)
 
         return batched_median_query(items, self.d, row_votes)

@@ -6,9 +6,16 @@ requires shipping sketch state around.  This module provides a compact,
 versioned binary codec for the SALSA sketches: header, per-row merge
 bits (or compact-group words), and the raw counter payload.
 
+The wire format is the **bit-packed reference encoding**, whatever
+engine backs the sketch in memory: every engine round-trips through
+the common decoded form (live ``(start, level, value)`` counters), so
+a blob written by a vector-engine sketch is byte-identical to one
+written by a bit-packed sketch in the same state, and either can be
+loaded into either engine (``loads(..., engine="vector")``).
+
 The format is deliberately simple -- little-endian fixed header plus
-the two buffers each row already maintains -- so a C consumer could
-read it directly.
+the two buffers each row's reference engine maintains -- so a C
+consumer could read it directly.
 
 Examples
 --------
@@ -26,7 +33,8 @@ from __future__ import annotations
 import struct
 
 from repro.core.layout import MergeBitLayout
-from repro.core.compact import CompactLayout, encoding_bits
+from repro.core.compact import encoding_bits
+from repro.core.engines import BitPackedEngine
 from repro.core.row import SalsaRow
 from repro.core.salsa_cms import SalsaCountMin
 from repro.core.salsa_cus import SalsaConservativeUpdate
@@ -53,39 +61,70 @@ _ENCODING_NAMES = {v: k for k, v in _ENCODINGS.items()}
 _HEADER = struct.Struct("<4sBBIHHHBBq")
 
 
+def _reference_row(row: SalsaRow) -> SalsaRow:
+    """A bit-packed twin of ``row`` in the same observable state.
+
+    The identity transform for bit-packed rows; other engines export
+    their decoded counters into a fresh reference row, which is what
+    makes the wire format engine-independent.
+    """
+    if isinstance(row.engine, BitPackedEngine):
+        return row
+    ref = SalsaRow(w=row.w, s=row.s, max_bits=row.max_bits, merge=row.merge,
+                   signed=row.signed, encoding=row.encoding,
+                   engine="bitpacked")
+    ref.import_counters(row.counters())
+    return ref
+
+
 def _row_payload(row: SalsaRow) -> bytes:
     """Layout bytes followed by counter bytes for one row."""
-    if isinstance(row.layout, MergeBitLayout):
-        layout_bytes = bytes(row.layout.bits._data)
+    engine = _reference_row(row).engine
+    if isinstance(engine.layout, MergeBitLayout):
+        layout_bytes = bytes(engine.layout.bits._data)
     else:
-        zbits = encoding_bits(row.layout.group_level)
+        zbits = encoding_bits(engine.layout.group_level)
         zbytes = (zbits + 7) // 8
         layout_bytes = b"".join(
-            x.to_bytes(zbytes, "little") for x in row.layout._x
+            x.to_bytes(zbytes, "little") for x in engine.layout._x
         )
-    return layout_bytes + row.store.tobytes()
+    return layout_bytes + engine.store.tobytes()
 
 
 def _restore_row(row: SalsaRow, payload: bytes) -> int:
     """Fill one row from ``payload``; return bytes consumed."""
-    if isinstance(row.layout, MergeBitLayout):
-        n_layout = row.layout.bits.nbytes
-        row.layout.bits._data[:] = payload[:n_layout]
+    if isinstance(row.engine, BitPackedEngine):
+        ref = row
     else:
-        zbits = encoding_bits(row.layout.group_level)
+        ref = SalsaRow(w=row.w, s=row.s, max_bits=row.max_bits,
+                       merge=row.merge, signed=row.signed,
+                       encoding=row.encoding, engine="bitpacked")
+    engine = ref.engine
+    if isinstance(engine.layout, MergeBitLayout):
+        n_layout = engine.layout.bits.nbytes
+        engine.layout.bits._data[:] = payload[:n_layout]
+    else:
+        zbits = encoding_bits(engine.layout.group_level)
         zbytes = (zbits + 7) // 8
-        n_layout = zbytes * row.layout.n_groups
-        row.layout._x = [
+        n_layout = zbytes * engine.layout.n_groups
+        engine.layout._x = [
             int.from_bytes(payload[i * zbytes:(i + 1) * zbytes], "little")
-            for i in range(row.layout.n_groups)
+            for i in range(engine.layout.n_groups)
         ]
-    n_store = row.store.nbytes
-    row.store._data[:] = payload[n_layout:n_layout + n_store]
+    n_store = engine.store.nbytes
+    engine.store._data[:] = payload[n_layout:n_layout + n_store]
+    if ref is not row:
+        # Re-materialize the decoded counters in the target engine.
+        row.import_counters(ref.counters())
     return n_layout + n_store
 
 
 def dumps(sketch) -> bytes:
-    """Serialize a SALSA CMS / CUS / CS sketch to bytes."""
+    """Serialize a SALSA CMS / CUS / CS sketch to bytes.
+
+    Engine-independent: blobs carry decoded state in the reference
+    bit-packed encoding, never the in-memory representation.
+    """
     cls = type(sketch)
     if cls not in _TYPES:
         raise TypeError(f"cannot serialize {cls.__name__}")
@@ -98,11 +137,14 @@ def dumps(sketch) -> bytes:
     return header + b"".join(_row_payload(row) for row in sketch.rows)
 
 
-def loads(data: bytes):
+def loads(data: bytes, engine: str | None = None):
     """Reconstruct a sketch serialized by :func:`dumps`.
 
     The hash family is re-derived from the stored seed, so a round
     trip preserves hash functions (and therefore merge compatibility).
+    ``engine`` picks the row engine backing the reconstruction (blobs
+    do not record one; ``None`` = the process default), so state can
+    cross engines in either direction.
     """
     if len(data) < _HEADER.size:
         raise ValueError("truncated SALSA sketch blob")
@@ -117,7 +159,7 @@ def loads(data: bytes):
         raise ValueError(f"unknown sketch type tag {type_tag}")
 
     kwargs = dict(w=w, d=d, s=s, max_bits=max_bits, seed=seed,
-                  encoding=_ENCODING_NAMES[encoding_tag])
+                  encoding=_ENCODING_NAMES[encoding_tag], engine=engine)
     if cls is SalsaCountMin:
         kwargs["merge"] = _MERGE_NAMES[merge_tag]
     sketch = cls(**kwargs)

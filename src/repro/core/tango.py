@@ -14,12 +14,112 @@ SALSA counter (which is what makes Tango at least as accurate, and is
 asserted by a property test).  The paper's example: counter 9 overflows
 into ``<8,9>``, then ``<8..10>``, ``<8..11>``, ..., ``<8..15>``, then
 ``<7..15>`` and onward.
+
+Like :class:`~repro.core.row.SalsaRow`, the physical storage is a
+pluggable engine: ``"bitpacked"`` (the reference ``BitArray`` +
+``Bitmap``) or ``"vector"`` (NumPy span/value arrays with vectorized
+gathers).  Both report identical spans, values, and ``memory_bits``.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.bitvec import BitArray, Bitmap
+from repro.core.engines import resolve_engine
 from repro.core.row import MAX, SUM
+
+
+class TangoBitPackedEngine:
+    """Reference Tango storage: bit-packed payload + merge bitmap."""
+
+    name = "bitpacked"
+
+    def __init__(self, w: int, s: int):
+        self.w = w
+        self.s = s
+        self.store = BitArray(w * s)
+        self.bits = Bitmap(w)  # bit j: slot j merged with slot j+1
+
+    def span_of(self, j: int) -> tuple[int, int]:
+        """Inclusive (L, R) span of the counter containing slot ``j``."""
+        bits = self.bits
+        left = j
+        while left > 0 and bits.get(left - 1):
+            left -= 1
+        right = j
+        while right < self.w - 1 and bits.get(right):
+            right += 1
+        return left, right
+
+    def read_span(self, left: int, right: int) -> int:
+        return self.store.read(left * self.s, (right - left + 1) * self.s)
+
+    def write_span(self, left: int, right: int, value: int) -> None:
+        self.store.write(left * self.s, (right - left + 1) * self.s, value)
+
+    def link(self, pos: int) -> None:
+        """Join the spans containing ``pos`` and ``pos + 1``."""
+        self.bits.set(pos)
+
+    def read(self, j: int) -> int:
+        left, right = self.span_of(j)
+        return self.read_span(left, right)
+
+    def read_many(self, idxs) -> np.ndarray:
+        if isinstance(idxs, np.ndarray):
+            idxs = idxs.tolist()
+        read = self.read
+        return np.fromiter((read(j) for j in idxs), dtype=np.int64,
+                           count=len(idxs))
+
+
+class TangoVectorEngine:
+    """NumPy Tango storage: per-slot span bounds and duplicated values.
+
+    ``span_start[j]``/``span_end[j]`` bound the counter containing
+    ``j``; ``values[j]`` is its value, duplicated across the span, so
+    point reads and batched gathers are single array indexes.  Merge
+    bits are derived, and the engine charges the same one bit per slot
+    as the reference encoding.
+    """
+
+    name = "vector"
+
+    def __init__(self, w: int, s: int):
+        self.w = w
+        self.s = s
+        self.span_start = np.arange(w, dtype=np.int64)
+        self.span_end = np.arange(w, dtype=np.int64)
+        self.values = np.zeros(w, dtype=np.uint64)
+
+    def span_of(self, j: int) -> tuple[int, int]:
+        return int(self.span_start[j]), int(self.span_end[j])
+
+    def read_span(self, left: int, right: int) -> int:
+        return int(self.values[left])
+
+    def write_span(self, left: int, right: int, value: int) -> None:
+        self.values[left:right + 1] = value
+
+    def link(self, pos: int) -> None:
+        left = int(self.span_start[pos])
+        right = int(self.span_end[pos + 1])
+        self.span_start[left:right + 1] = left
+        self.span_end[left:right + 1] = right
+
+    def read(self, j: int) -> int:
+        return int(self.values[j])
+
+    def read_many(self, idxs) -> np.ndarray:
+        idxs = np.ascontiguousarray(idxs, dtype=np.int64)
+        return self.values[idxs].astype(np.int64, copy=False)
+
+
+_TANGO_ENGINES = {
+    TangoBitPackedEngine.name: TangoBitPackedEngine,
+    TangoVectorEngine.name: TangoVectorEngine,
+}
 
 
 class TangoRow:
@@ -37,6 +137,9 @@ class TangoRow:
         Widest counter allowed, in slots (default: grows to 64 bits).
     merge:
         ``"sum"`` or ``"max"`` -- same semantics as SALSA.
+    engine:
+        ``"bitpacked"`` or ``"vector"`` storage (None = the process
+        default, see :mod:`repro.core.engines`).
 
     Examples
     --------
@@ -53,7 +156,7 @@ class TangoRow:
     overhead_bits_per_counter = 1.0
 
     def __init__(self, w: int, s: int = 8, max_slots: int | None = None,
-                 merge: str = MAX):
+                 merge: str = MAX, engine: str | None = None):
         if w < 2 or w & (w - 1):
             raise ValueError(f"w must be a power of two >= 2, got {w}")
         if s < 1 or s > 64:
@@ -68,24 +171,33 @@ class TangoRow:
         self.s = s
         self.max_slots = min(max_slots, w)
         self.merge = merge
-        self.store = BitArray(w * s)
-        self.bits = Bitmap(w)  # bit j: slot j merged with slot j+1
+        self.engine_name = resolve_engine(engine)
+        if self.engine_name == "vector" and self.max_slots * s > 64:
+            raise ValueError(
+                f"vector Tango engine holds counters in uint64; "
+                f"max_slots * s = {self.max_slots * s} exceeds 64 bits"
+            )
+        self.engine = _TANGO_ENGINES[self.engine_name](w, s)
         self.merge_events = 0
         self.saturations = 0
+
+    # ------------------------------------------------------------------
+    # storage passthrough (reference engine buffers, kept for tests)
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        return self.engine.store
+
+    @property
+    def bits(self):
+        return self.engine.bits
 
     # ------------------------------------------------------------------
     # layout
     # ------------------------------------------------------------------
     def span_of(self, j: int) -> tuple[int, int]:
         """Inclusive (L, R) span of the counter containing slot ``j``."""
-        bits = self.bits
-        left = j
-        while left > 0 and bits.get(left - 1):
-            left -= 1
-        right = j
-        while right < self.w - 1 and bits.get(right):
-            right += 1
-        return left, right
+        return self.engine.span_of(j)
 
     @staticmethod
     def _next_extension(left: int, right: int, w: int) -> int:
@@ -114,15 +226,18 @@ class TangoRow:
     # field access
     # ------------------------------------------------------------------
     def _read_span(self, left: int, right: int) -> int:
-        return self.store.read(left * self.s, (right - left + 1) * self.s)
+        return self.engine.read_span(left, right)
 
     def _write_span(self, left: int, right: int, value: int) -> None:
-        self.store.write(left * self.s, (right - left + 1) * self.s, value)
+        self.engine.write_span(left, right, value)
 
     def read(self, j: int) -> int:
         """Value of the counter containing slot ``j``."""
-        left, right = self.span_of(j)
-        return self._read_span(left, right)
+        return self.engine.read(j)
+
+    def read_many(self, idxs) -> np.ndarray:
+        """int64 values of the counters containing each slot."""
+        return self.engine.read_many(idxs)
 
     # ------------------------------------------------------------------
     # updates
@@ -130,26 +245,26 @@ class TangoRow:
     def _grow(self, left: int, right: int, value: int) -> tuple[int, int, int]:
         """Absorb one neighbouring counter; return new (L, R, value)."""
         target = self._next_extension(left, right, self.w)
-        n_left, n_right = self.span_of(target)
-        neighbour = self._read_span(n_left, n_right)
+        n_left, n_right = self.engine.span_of(target)
+        neighbour = self.engine.read_span(n_left, n_right)
         if self.merge == SUM:
             value += neighbour
         else:
             value = max(value, neighbour)
         # Join the spans (they are adjacent by construction).
         if target < left:
-            self.bits.set(n_right)  # n_right == left - 1
+            self.engine.link(n_right)  # n_right == left - 1
             left = n_left
         else:
-            self.bits.set(right)    # target == right + 1
+            self.engine.link(right)    # target == right + 1
             right = n_right
         self.merge_events += 1
         return left, right, value
 
     def add(self, j: int, v: int) -> int:
         """Add ``v`` to the counter containing ``j``, growing as needed."""
-        left, right = self.span_of(j)
-        value = self._read_span(left, right) + v
+        left, right = self.engine.span_of(j)
+        value = self.engine.read_span(left, right) + v
         if value < 0:
             # Tango rows are unsigned (Cash Register / Strict Turnstile).
             value = 0
@@ -161,15 +276,15 @@ class TangoRow:
             left, right, value = self._grow(left, right, value)
         if value < 0:
             value = 0
-        self._write_span(left, right, value)
+        self.engine.write_span(left, right, value)
         return value
 
     def set_at_least(self, j: int, target: int) -> int:
         """Conservative-update primitive (max-merge rows only)."""
         if self.merge != MAX:
             raise ValueError("set_at_least requires a max-merge row")
-        left, right = self.span_of(j)
-        value = self._read_span(left, right)
+        left, right = self.engine.span_of(j)
+        value = self.engine.read_span(left, right)
         if value >= target:
             return value
         value = target
@@ -179,7 +294,7 @@ class TangoRow:
                 self.saturations += 1
                 break
             left, right, value = self._grow(left, right, value)
-        self._write_span(left, right, value)
+        self.engine.write_span(left, right, value)
         return value
 
     # ------------------------------------------------------------------
@@ -187,15 +302,16 @@ class TangoRow:
         """Yield ``(left, right, value)`` for every live counter."""
         j = 0
         while j < self.w:
-            left, right = self.span_of(j)
-            yield left, right, self._read_span(left, right)
+            left, right = self.engine.span_of(j)
+            yield left, right, self.engine.read_span(left, right)
             j = right + 1
 
     @property
     def memory_bits(self) -> int:
-        """Payload plus one merge bit per slot."""
+        """Payload plus one merge bit per slot (engine-independent)."""
         return self.w * self.s + self.w
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"TangoRow(w={self.w}, s={self.s}, "
-                f"max_slots={self.max_slots}, merge={self.merge!r})")
+                f"max_slots={self.max_slots}, merge={self.merge!r}, "
+                f"engine={self.engine_name!r})")

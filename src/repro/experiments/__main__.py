@@ -8,6 +8,7 @@ import time
 
 from repro.experiments.registry import EXPERIMENTS, run
 from repro.experiments.report import emit
+from repro.experiments.runner import using_engine
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -19,6 +20,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="figure ids (e.g. fig10a); 'all' for everything")
     parser.add_argument("--list", action="store_true",
                         help="list known figure ids and exit")
+    parser.add_argument("--engine", choices=("bitpacked", "vector"),
+                        default=None,
+                        help="row engine backing every SALSA sketch in "
+                             "this run (the figures' numbers are engine-"
+                             "independent; speed is not)")
     args = parser.parse_args(argv)
 
     if args.list or not args.figures:
@@ -28,12 +34,13 @@ def main(argv: list[str] | None = None) -> int:
 
     targets = (sorted(EXPERIMENTS) if args.figures == ["all"]
                else args.figures)
-    for fig in targets:
-        start = time.perf_counter()
-        for result in run(fig):
-            emit(result)
-        print(f"[{fig}: {time.perf_counter() - start:.1f}s]",
-              file=sys.stderr)
+    with using_engine(args.engine):
+        for fig in targets:
+            start = time.perf_counter()
+            for result in run(fig):
+                emit(result)
+            print(f"[{fig}: {time.perf_counter() - start:.1f}s]",
+                  file=sys.stderr)
     return 0
 
 

@@ -187,7 +187,17 @@ class BatchOpsMixin:
     ``tests/test_batch_api.py``).  Overrides that are only exact under
     preconditions (e.g. non-negative values) must delegate back to
     these defaults when the precondition fails.
+
+    Sketches whose storage is backed by a pluggable row engine
+    (:mod:`repro.core.engines`) accept an ``engine=`` kwarg -- plumbed
+    through their ``for_memory`` constructors as well -- and record the
+    resolved choice in :attr:`engine_name`; fixed-width sketches leave
+    it ``None``.  The engine only changes which code path the batch
+    door takes, never the answers.
     """
+
+    #: Resolved row-engine name for engine-backed sketches, else None.
+    engine_name: str | None = None
 
     def update_many(self, items, values=None) -> None:
         """Process a batch of updates in order, one ``update`` each."""

@@ -21,9 +21,12 @@ Both are Cash-Register-only and deterministic.
 
 from __future__ import annotations
 
+import heapq
+
 from repro.sketches.base import (
     BatchOpsMixin,
     StreamModel,
+    aggregate_batch,
     as_batch,
     batch_sum_fits,
     collapse_runs,
@@ -31,12 +34,24 @@ from repro.sketches.base import (
 
 #: Bytes we charge per table entry: an 8-byte key, an 8-byte count and
 #: amortized ~8 bytes of ordering structure (the C implementations in
-#: [48] use a "stream summary" doubly-linked bucket list).
+#: [48] use a "stream summary" doubly-linked bucket list; we use a lazy
+#: min-heap with the same amortized footprint).
 ENTRY_BYTES = 24
 
 
 class SpaceSaving(BatchOpsMixin):
     """Space-Saving: the min counter is recycled for unseen items.
+
+    The minimum is tracked with a *lazy lower-bound* min-heap of
+    ``(count, seq, item)`` entries: hits never touch the heap (a heap
+    entry's count is allowed to lag the table), and an eviction pops
+    entries until the top matches its table state exactly -- lagging
+    entries are re-pushed with their current count.  A miss therefore
+    costs ``O(log k)`` amortized instead of the ``O(k)`` table scan,
+    and a hit is a plain dict bump.  ``seq`` is the entry's
+    table-insertion sequence number, which reproduces exactly the
+    historical tie-breaking of ``min()`` over the insertion-ordered
+    dict (earliest surviving entry wins among equal counts).
 
     Parameters
     ----------
@@ -62,10 +77,54 @@ class SpaceSaving(BatchOpsMixin):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
-        #: item -> (count, error), where ``error`` is the count the
-        #: entry inherited when it took over the minimum.
-        self._table: dict[int, tuple[int, int]] = {}
+        #: item -> [count, error, seq]: ``error`` is the count the
+        #: entry inherited when it took over the minimum, ``seq`` its
+        #: insertion sequence number (for exact min tie-breaking).
+        self._table: dict[int, list] = {}
+        #: lazy heap of (count, seq, item): counts are lower bounds of
+        #: the table's, refreshed on pop; entries whose seq no longer
+        #: matches the table are dead and discarded on pop.
+        self._heap: list[tuple[int, int, int]] = []
+        self._seq = 0
+        #: adaptive gate for the batch pre-aggregation attempt: after a
+        #: batch with misses, skip the (wasted) uniqueness pass for a
+        #: while -- miss-heavy streams stay on the ordered walk.
+        self._agg_backoff = 0
         self.n = 0
+
+    def _bump(self, item: int, entry: list, value: int) -> None:
+        """Add ``value`` to a monitored entry (its heap entry lags)."""
+        entry[0] += value
+
+    def _insert(self, item: int, count: int, error: int) -> None:
+        """Monitor ``item`` with a fresh sequence number."""
+        self._seq += 1
+        self._table[item] = [count, error, self._seq]
+        heapq.heappush(self._heap, (count, self._seq, item))
+
+    def _evict_min(self) -> int:
+        """Pop (and unmonitor) the true minimum; return its count.
+
+        Heap counts are lower bounds, so when the top's count matches
+        its table entry, every other entry's true ``(count, seq)`` key
+        is at least the top's -- the top *is* the minimum, ties decided
+        by insertion order exactly as ``min()`` over the dict was.
+        """
+        heap = self._heap
+        table = self._table
+        pop = heapq.heappop
+        while True:
+            count, seq, item = heap[0]
+            entry = table.get(item)
+            if entry is None or entry[2] != seq:
+                pop(heap)  # dead: evicted (and possibly re-inserted)
+            elif entry[0] == count:
+                pop(heap)
+                del table[item]
+                return count
+            else:
+                # Lagging lower bound: refresh in place and re-sift.
+                heapq.heapreplace(heap, (entry[0], seq, item))
 
     def update(self, item: int, value: int = 1) -> None:
         """Process ``<item, value>`` (value must be positive)."""
@@ -74,15 +133,13 @@ class SpaceSaving(BatchOpsMixin):
         self.n += value
         entry = self._table.get(item)
         if entry is not None:
-            self._table[item] = (entry[0] + value, entry[1])
+            entry[0] += value
             return
         if len(self._table) < self.k:
-            self._table[item] = (value, 0)
+            self._insert(item, value, 0)
             return
-        victim = min(self._table, key=lambda key: self._table[key][0])
-        floor = self._table[victim][0]
-        del self._table[victim]
-        self._table[item] = (floor + value, floor)
+        floor = self._evict_min()
+        self._insert(item, floor + value, floor)
 
     def query(self, item: int) -> int:
         """Over-estimate of ``item``'s frequency (0 if unmonitored)."""
@@ -93,14 +150,17 @@ class SpaceSaving(BatchOpsMixin):
     # batch pipeline
     # ------------------------------------------------------------------
     def update_many(self, items, values=None) -> None:
-        """Batched update with consecutive-duplicate fusion.
+        """Batched update: pre-aggregate duplicates, then walk misses.
 
-        Space-Saving is order-dependent (the recycled minimum changes
-        with every miss), so only back-to-back updates of one key fuse:
-        whether the key is monitored, inserted, or takes over the
-        minimum, ``update(x, a); update(x, b)`` lands in the same table
-        state as ``update(x, a + b)``.  Runs are collapsed and the
-        stream walked in order.
+        Space-Saving is order-dependent only through *misses* (each
+        recycles the current minimum, and insertion order decides
+        future tie-breaks).  A batch whose keys are all currently
+        monitored performs no miss whatever the order: its duplicate
+        keys pre-aggregate fully and the table is bumped once per
+        unique key, never touching the heap order-sensitively.
+        Otherwise, consecutive duplicates still fuse exactly
+        (``update(x, a); update(x, b) == update(x, a + b)``) and the
+        collapsed stream is walked in order.
         """
         items, values = as_batch(items, values)
         if len(items) == 0:
@@ -110,10 +170,45 @@ class SpaceSaving(BatchOpsMixin):
         if not batch_sum_fits(values):
             BatchOpsMixin.update_many(self, items, values)
             return
+        table = self._table
+        if table and self._agg_backoff == 0:
+            uniq, sums = aggregate_batch(items, values)
+            if len(uniq) <= len(table) and all(x in table
+                                               for x in uniq.tolist()):
+                for x, v in zip(uniq.tolist(), sums.tolist()):
+                    self._bump(x, table[x], v)
+                self.n += int(sums.sum())
+                return
+            self._agg_backoff = 16
+        elif self._agg_backoff:
+            self._agg_backoff -= 1
         items, values = collapse_runs(items, values)
-        update = self.update
+        # Ordered walk with the per-update plumbing (validation, n
+        # bookkeeping, method dispatch) hoisted out of the loop.
+        k = self.k
+        self.n += int(values.sum())
+        if int(values.max()) == 1:
+            # Unit-weight batches (the common Cash Register case) skip
+            # the per-item value handling entirely.
+            for x in items.tolist():
+                entry = table.get(x)
+                if entry is not None:
+                    entry[0] += 1
+                elif len(table) < k:
+                    self._insert(x, 1, 0)
+                else:
+                    floor = self._evict_min()
+                    self._insert(x, floor + 1, floor)
+            return
         for x, v in zip(items.tolist(), values.tolist()):
-            update(x, v)
+            entry = table.get(x)
+            if entry is not None:
+                entry[0] += v
+            elif len(table) < k:
+                self._insert(x, v, 0)
+            else:
+                floor = self._evict_min()
+                self._insert(x, floor + v, floor)
 
     def guaranteed(self, item: int) -> int:
         """Lower bound on ``item``'s frequency (count minus error)."""
@@ -123,7 +218,7 @@ class SpaceSaving(BatchOpsMixin):
     def entries(self) -> list[tuple[int, int, int]]:
         """Monitored ``(item, estimate, error)`` rows, largest first."""
         rows = [(item, count, err)
-                for item, (count, err) in self._table.items()]
+                for item, (count, err, _seq) in self._table.items()]
         rows.sort(key=lambda row: -row[1])
         return rows
 

@@ -1,0 +1,479 @@
+"""Cross-engine equivalence: BitPackedEngine vs VectorRowEngine.
+
+The row-engine contract is observational equality: on any stream, both
+engines must report identical counter values, merge levels, estimates,
+``memory_bits``, and serialized bytes -- the engine changes speed,
+never the sketch.  These tests drive both engines in lockstep through
+random, hot-key, turnstile (sum-merge), and signed Count-Sketch
+streams, through the stateful operations (``scale_down_half``,
+``try_split``, ``copy``), and through serialize round-trips in every
+engine direction, at row level and at sketch level.
+"""
+
+import numpy as np
+import pytest
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import (
+    ENGINES,
+    BitPackedEngine,
+    SalsaAeeCountMin,
+    SalsaConservativeUpdate,
+    SalsaCountMin,
+    SalsaCountSketch,
+    SalsaRow,
+    TangoCountMin,
+    TangoRow,
+    VectorRowEngine,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.core.row import SUM
+from repro.core.serialize import dumps, loads
+
+
+def row_state(row):
+    """Observable state: (levels per slot, live counters, memory)."""
+    return (
+        [row.level_of(j) for j in range(row.w)],
+        list(row.counters()),
+        row.memory_bits,
+        [row.read(j) for j in range(row.w)],
+    )
+
+
+def make_pair(**kwargs):
+    return (SalsaRow(engine="bitpacked", **kwargs),
+            SalsaRow(engine="vector", **kwargs))
+
+
+# ----------------------------------------------------------------------
+# row-level lockstep
+# ----------------------------------------------------------------------
+STREAMS = {
+    "random": lambda rng, n: (rng.integers(0, 32, n),
+                              rng.integers(1, 9, n)),
+    "hot-key": lambda rng, n: (
+        np.where(rng.random(n) < 0.7, 5, rng.integers(0, 32, n)),
+        np.ones(n, dtype=np.int64)),
+    "turnstile": lambda rng, n: (rng.integers(0, 32, n),
+                                 rng.integers(-6, 7, n)),
+}
+
+
+@pytest.mark.parametrize("stream", sorted(STREAMS))
+@pytest.mark.parametrize("merge,signed", [("max", False), ("sum", False),
+                                          ("sum", True)])
+def test_row_add_lockstep(stream, merge, signed):
+    rng = np.random.default_rng(7)
+    items, values = STREAMS[stream](rng, 3000)
+    if not signed and stream == "turnstile":
+        values = np.abs(values) + 1  # unsigned rows get Cash Register
+    a, b = make_pair(w=32, s=4, merge=merge, signed=signed)
+    for j, v in zip(items.tolist(), values.tolist()):
+        assert a.add(int(j), int(v)) == b.add(int(j), int(v))
+    assert row_state(a) == row_state(b)
+    assert (a.merge_events, a.saturations) == (b.merge_events, b.saturations)
+
+
+def test_row_add_batch_lockstep():
+    rng = np.random.default_rng(3)
+    a, b = make_pair(w=32, s=4)
+    for _ in range(50):
+        idxs = rng.integers(0, 32, 40).tolist()
+        vals = rng.integers(1, 5, 40).tolist()
+        ra, rb = a.add_batch(idxs, vals), b.add_batch(idxs, vals)
+        assert ra == rb
+        if not ra:  # replay, as a sketch would
+            for j, v in zip(idxs, vals):
+                a.add(j, v)
+                b.add(j, v)
+    assert row_state(a) == row_state(b)
+
+
+def test_add_batch_partial_applies_clean_superblocks_only():
+    for engine in ENGINES:
+        row = SalsaRow(w=16, s=8, engine=engine)
+        row.add(0, 250)     # superblock 0 close to overflow
+        # slots 0 and 8 live in different superblocks (max_level=3).
+        dirty = row.add_batch_partial([0, 8], [100, 7])
+        assert dirty is not None and dirty.tolist() == [True, False]
+        assert row.read(0) == 250   # dirty superblock untouched
+        assert row.read(8) == 7     # clean superblock applied
+        # check-only mode must not write.
+        before = row_state(row)
+        mask = row.add_batch_partial([0], [100], apply=False)
+        assert mask is not None and row_state(row) == before
+
+
+def test_add_batch_rejects_negative_on_unsigned_vector_rows():
+    row = SalsaRow(w=8, s=8, engine="vector")
+    row.add(3, 100)
+    assert not row.add_batch([3], [-5])
+    assert row.read(3) == 100
+
+
+def test_scale_down_and_split_lockstep():
+    import random
+
+    a, b = make_pair(w=16, s=4, merge="max")
+    for j in range(16):
+        a.add(j, 14 + j)
+        b.add(j, 14 + j)
+    a.add(3, 300)
+    b.add(3, 300)
+    a.scale_down_half(random.Random(5))
+    b.scale_down_half(random.Random(5))
+    assert row_state(a) == row_state(b)
+    for start, level, _v in list(a.counters()):
+        assert a.try_split(start, level) == b.try_split(start, level)
+    assert row_state(a) == row_state(b)
+
+
+def test_copy_is_independent_per_engine():
+    for engine in ENGINES:
+        row = SalsaRow(w=8, s=8, engine=engine)
+        row.add(1, 200)
+        clone = row.copy()
+        assert clone.engine_name == engine
+        clone.add(1, 100)   # forces a merge in the clone only
+        assert row.read(1) == 200
+        assert row.level_of(1) == 0
+        assert clone.level_of(1) == 1
+
+
+def test_read_many_matches_point_reads():
+    rng = np.random.default_rng(9)
+    for engine in ENGINES:
+        row = SalsaRow(w=32, s=4, engine=engine)
+        for j, v in zip(rng.integers(0, 32, 500).tolist(),
+                        rng.integers(1, 6, 500).tolist()):
+            row.add(j, v)
+        idxs = rng.integers(0, 32, 64)
+        assert row.read_many(idxs).tolist() == [row.read(int(j))
+                                                for j in idxs.tolist()]
+
+
+# ----------------------------------------------------------------------
+# hypothesis: engines in lockstep under random interleavings
+# ----------------------------------------------------------------------
+class EngineLockstepMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.a = SalsaRow(w=16, s=2, merge="sum", engine="bitpacked")
+        self.b = SalsaRow(w=16, s=2, merge="sum", engine="vector")
+
+    @rule(j=st.integers(min_value=0, max_value=15),
+          v=st.integers(min_value=0, max_value=40))
+    def add(self, j, v):
+        assert self.a.add(j, v) == self.b.add(j, v)
+
+    @rule(data=st.lists(st.tuples(st.integers(min_value=0, max_value=15),
+                                  st.integers(min_value=1, max_value=9)),
+                        max_size=12))
+    def add_batch(self, data):
+        idxs = [j for j, _ in data]
+        vals = [v for _, v in data]
+        assert self.a.add_batch(idxs, vals) == self.b.add_batch(idxs, vals)
+
+    @invariant()
+    def observationally_equal(self):
+        assert row_state(self.a) == row_state(self.b)
+
+
+TestEngineLockstepMachine = EngineLockstepMachine.TestCase
+TestEngineLockstepMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# sketch-level equivalence (batched and per-item, every variant)
+# ----------------------------------------------------------------------
+SKETCHES = {
+    "cms-max": lambda e: SalsaCountMin(w=64, d=4, s=8, seed=3, engine=e),
+    "cms-sum": lambda e: SalsaCountMin(w=64, d=4, s=8, merge=SUM, seed=3,
+                                       engine=e),
+    "cms-compact": lambda e: SalsaCountMin(w=64, d=4, s=8,
+                                           encoding="compact", seed=3,
+                                           engine=e),
+    "cs": lambda e: SalsaCountSketch(w=64, d=5, s=8, seed=3, engine=e),
+    "cus": lambda e: SalsaConservativeUpdate(w=64, d=4, s=8, seed=3,
+                                             engine=e),
+    "aee": lambda e: SalsaAeeCountMin(w=64, d=4, s=8, seed=3, engine=e),
+}
+
+
+def _sketch_streams():
+    rng = np.random.default_rng(17)
+    n = 4000
+    return {
+        "random": (rng.integers(0, 500, n), rng.integers(1, 8, n)),
+        "hot-key": (np.where(rng.random(n) < 0.6, 42,
+                             rng.integers(0, 200, n)),
+                    np.ones(n, dtype=np.int64)),
+        "turnstile": (rng.integers(0, 200, n), rng.integers(-4, 5, n)),
+    }
+
+
+SKETCH_STREAMS = _sketch_streams()
+
+
+@pytest.mark.parametrize("stream", sorted(SKETCH_STREAMS))
+@pytest.mark.parametrize("name", sorted(SKETCHES))
+def test_sketch_engines_agree(name, stream):
+    items, values = SKETCH_STREAMS[stream]
+    items = items.astype(np.int64)
+    values = values.astype(np.int64)
+    if name != "cs":
+        values = np.abs(values) + 1     # Cash Register / Strict Turnstile
+    a = SKETCHES[name]("bitpacked")
+    b = SKETCHES[name]("vector")
+    assert a.engine_name == "bitpacked" and b.engine_name == "vector"
+    for start in range(0, len(items), 389):
+        chunk_i = items[start:start + 389]
+        chunk_v = values[start:start + 389]
+        a.update_many(chunk_i, chunk_v)
+        b.update_many(chunk_i, chunk_v)
+    probe = sorted(set(items.tolist()))[:400] + [10**9]
+    assert a.query_many(probe) == b.query_many(probe)
+    assert a.memory_bytes == b.memory_bytes
+    for ra, rb in zip(a.rows, b.rows):
+        assert [ra.level_of(j) for j in range(ra.w)] == \
+               [rb.level_of(j) for j in range(rb.w)]
+
+
+def test_aee_downsampling_stays_in_lockstep():
+    """Tiny AEE rows force overflow policy decisions (downsampling and
+    splitting); identical RNG seeds must keep the engines identical."""
+    rng = np.random.default_rng(23)
+    items = rng.integers(0, 40, 6000).astype(np.int64)
+    a = SalsaAeeCountMin(w=8, d=2, s=8, max_bits=16, seed=3, split=True,
+                         engine="bitpacked")
+    b = SalsaAeeCountMin(w=8, d=2, s=8, max_bits=16, seed=3, split=True,
+                         engine="vector")
+    for start in range(0, len(items), 500):
+        a.update_many(items[start:start + 500])
+        b.update_many(items[start:start + 500])
+    assert a.p == b.p and a.top_level == b.top_level
+    probe = list(range(40))
+    assert a.query_many(probe) == b.query_many(probe)
+
+
+# ----------------------------------------------------------------------
+# serialization: one wire format, any engine
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["cms-max", "cms-compact", "cs", "cus"])
+def test_serialized_bytes_are_engine_independent(name):
+    items, values = SKETCH_STREAMS["random"]
+    values = np.abs(values.astype(np.int64)) + 1
+    a = SKETCHES[name]("bitpacked")
+    b = SKETCHES[name]("vector")
+    a.update_many(items, values)
+    b.update_many(items, values)
+    assert dumps(a) == dumps(b)
+
+
+@pytest.mark.parametrize("src", sorted(ENGINES))
+@pytest.mark.parametrize("dst", sorted(ENGINES))
+def test_serialize_roundtrip_across_engines(src, dst):
+    items, values = SKETCH_STREAMS["hot-key"]
+    sk = SalsaCountMin(w=64, d=3, s=8, seed=5, engine=src)
+    sk.update_many(items, values)
+    clone = loads(dumps(sk), engine=dst)
+    assert clone.engine_name == dst
+    probe = sorted(set(items.tolist()))
+    assert clone.query_many(probe) == sk.query_many(probe)
+    assert clone.memory_bytes == sk.memory_bytes
+    assert dumps(clone) == dumps(sk)
+
+
+def test_scale_down_then_serialize_roundtrip():
+    sk = SalsaCountMin(w=32, d=2, s=8, seed=1, engine="vector")
+    for _ in range(600):
+        sk.update(9)
+    for row in sk.rows:
+        row.scale_down_half()
+    clone = loads(dumps(sk), engine="bitpacked")
+    assert clone.query(9) == sk.query(9)
+    assert dumps(clone) == dumps(sk)
+
+
+# ----------------------------------------------------------------------
+# Tango engines
+# ----------------------------------------------------------------------
+def test_tango_engines_agree():
+    rng = np.random.default_rng(5)
+    a = TangoRow(w=32, s=8, engine="bitpacked")
+    b = TangoRow(w=32, s=8, engine="vector")
+    for j, v in zip(rng.integers(0, 32, 4000).tolist(),
+                    rng.integers(1, 200, 4000).tolist()):
+        assert a.add(j, v) == b.add(j, v)
+    assert [a.span_of(j) for j in range(32)] == \
+           [b.span_of(j) for j in range(32)]
+    assert [a.read(j) for j in range(32)] == [b.read(j) for j in range(32)]
+    assert a.memory_bits == b.memory_bits
+    assert list(a.counters()) == list(b.counters())
+
+
+def test_tango_sketch_engines_agree():
+    rng = np.random.default_rng(6)
+    items = rng.integers(0, 300, 5000).astype(np.int64)
+    a = TangoCountMin(w=128, d=3, s=8, seed=2, engine="bitpacked")
+    b = TangoCountMin(w=128, d=3, s=8, seed=2, engine="vector")
+    a.update_many(items)
+    b.update_many(items)
+    probe = sorted(set(items.tolist()))
+    assert a.query_many(probe) == b.query_many(probe)
+
+
+def test_tango_vector_engine_rejects_over_64_bit_counters():
+    with pytest.raises(ValueError):
+        TangoRow(w=32, s=8, max_slots=16, engine="vector")
+
+
+# ----------------------------------------------------------------------
+# plumbing: default engine, unknown names, for_memory
+# ----------------------------------------------------------------------
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        SalsaRow(w=8, s=8, engine="gpu")
+
+
+def test_default_engine_is_process_wide():
+    assert get_default_engine() == "bitpacked"
+    set_default_engine("vector")
+    try:
+        assert SalsaRow(w=8, s=8).engine_name == "vector"
+        assert SalsaCountMin(w=64, d=2, seed=0).engine_name == "vector"
+    finally:
+        set_default_engine("bitpacked")
+    assert SalsaRow(w=8, s=8).engine_name == "bitpacked"
+
+
+def test_using_engine_scopes_the_default():
+    from repro.experiments.runner import using_engine
+
+    with using_engine("vector"):
+        assert get_default_engine() == "vector"
+    assert get_default_engine() == "bitpacked"
+    with using_engine(None):
+        assert get_default_engine() == "bitpacked"
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_for_memory_shape_is_engine_independent(engine):
+    ref = SalsaCountMin.for_memory(16 * 1024, d=4, s=8)
+    sk = SalsaCountMin.for_memory(16 * 1024, d=4, s=8, engine=engine)
+    assert (sk.w, sk.d, sk.s) == (ref.w, ref.d, ref.s)
+    assert sk.memory_bytes == ref.memory_bytes
+    assert isinstance(sk.rows[0].engine,
+                      VectorRowEngine if engine == "vector"
+                      else BitPackedEngine)
+
+
+def test_cli_speed_accepts_engine_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    path = str(tmp_path / "t.npz")
+    assert main(["generate", "zipf", path, "--length", "2000"]) == 0
+    capsys.readouterr()
+    assert main(["speed", path, "--sketch", "salsa-cms",
+                 "--memory", "16K", "--engine", "vector"]) == 0
+    out = capsys.readouterr().out
+    assert "engine=vector" in out
+
+
+def test_cli_rejects_engine_for_engineless_sketches(tmp_path, capsys):
+    from repro.cli import main
+
+    path = str(tmp_path / "t.npz")
+    assert main(["generate", "zipf", path, "--length", "500"]) == 0
+    with pytest.raises(SystemExit):
+        main(["speed", path, "--sketch", "cms", "--memory", "16K",
+              "--engine", "vector"])
+
+
+def test_plan_apply_matches_partial():
+    """A plan checked on one row and applied later must write exactly
+    what add_batch_partial would have."""
+    rng = np.random.default_rng(2)
+    for engine in ENGINES:
+        a = SalsaRow(w=16, s=8, engine=engine)
+        a.add(0, 250)
+        b = a.copy()
+        idxs = rng.integers(0, 16, 30).tolist()
+        vals = rng.integers(1, 9, 30).tolist()
+        plan = a.plan_add_batch(idxs, vals)
+        a.apply_batch_plan(plan)
+        mask = b.add_batch_partial(idxs, vals)
+        assert row_state(a) == row_state(b)
+        if plan.dirty_mask is None:
+            assert mask is None
+        else:
+            assert mask is not None
+            assert plan.dirty_mask.tolist() == mask.tolist()
+
+
+def test_cli_run_accepts_engine_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    path = str(tmp_path / "t.npz")
+    assert main(["generate", "zipf", path, "--length", "2000"]) == 0
+    capsys.readouterr()
+    assert main(["run", path, "--sketch", "salsa-cms", "--memory", "16K",
+                 "--engine", "vector", "--batch-size", "256"]) == 0
+    assert "NRMSE" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# SpaceSaving satellite: heap + pre-aggregation stay exact
+# ----------------------------------------------------------------------
+def test_spacesaving_heap_matches_naive_min_scan():
+    """The lazy heap must reproduce ``min()`` over the insertion-ordered
+    dict exactly, ties included."""
+    from repro.sketches import SpaceSaving
+
+    rng = np.random.default_rng(3)
+    stream = rng.integers(0, 50, 15000).tolist()  # constant count ties
+
+    table = {}
+
+    def naive_update(item):
+        entry = table.get(item)
+        if entry is not None:
+            table[item] = (entry[0] + 1, entry[1])
+            return
+        if len(table) < 20:
+            table[item] = (1, 0)
+            return
+        victim = min(table, key=lambda key: table[key][0])
+        floor = table[victim][0]
+        del table[victim]
+        table[item] = (floor + 1, floor)
+
+    ss = SpaceSaving(k=20)
+    for x in stream:
+        naive_update(x)
+        ss.update(x)
+    assert sorted(table) == sorted(ss._table)
+    for item, (count, err) in table.items():
+        assert ss._table[item][:2] == [count, err]
+
+
+def test_spacesaving_all_hit_batches_preaggregate():
+    from repro.sketches import SpaceSaving
+
+    warm = list(range(10)) * 3
+    hits = np.array([3, 7, 3, 3, 9, 7] * 50, dtype=np.int64)
+    a, b = SpaceSaving(k=10), SpaceSaving(k=10)
+    for x in warm:
+        a.update(x)
+        b.update(x)
+    for x in hits.tolist():
+        a.update(x)
+    b.update_many(hits)     # all keys monitored: aggregated wholesale
+    assert [a.query(x) for x in range(10)] == \
+           [b.query(x) for x in range(10)]
+    assert a.n == b.n
