@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import argparse
 
-from _harness import emit_table, ingest_rates
+from _harness import emit_bench_json, emit_table, ingest_rates
 from repro import (
     SalsaAeeCountMin,
     SalsaConservativeUpdate,
@@ -89,6 +89,7 @@ def main(argv: list[str] | None = None) -> int:
     print(lines[0])
     print(header)
     print("-" * len(header))
+    rows = []
     for name, factory in FACTORIES.items():
         per_item, batched = ingest_rates(factory, trace,
                                          batch_size=args.batch_size)
@@ -96,7 +97,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"{batched / per_item:>7.2f}x")
         print(line)
         lines.append(line)
+        rows.append({"sketch": name, "per_item": round(per_item, 1),
+                     "batched": round(batched, 1),
+                     "speedup": round(batched / per_item, 2)})
     path = emit_table("batch_throughput.txt", lines)
+    print(f"wrote {path}")
+    path = emit_bench_json("sketches", {
+        "bench": "sketches", "dataset": args.dataset,
+        "length": args.length, "batch_size": args.batch_size,
+        "unit": "items_per_sec", "rows": rows,
+    })
     print(f"wrote {path}")
 
     header = (f"{'sketch':<14} {'engine':<10} {'per-item/s':>12} "
@@ -111,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
     print(elines[0])
     print(header)
     print("-" * len(header))
+    erows = []
     for name, factory in ENGINE_FACTORIES.items():
         for engine in ENGINES:
             per_item, batched = ingest_rates(
@@ -119,7 +130,17 @@ def main(argv: list[str] | None = None) -> int:
                     f"{batched:>12,.0f} {batched / per_item:>7.2f}x")
             print(line)
             elines.append(line)
+            erows.append({"sketch": name, "engine": engine,
+                          "per_item": round(per_item, 1),
+                          "batched": round(batched, 1),
+                          "speedup": round(batched / per_item, 2)})
     path = emit_table("engine_throughput.txt", elines)
+    print(f"wrote {path}")
+    path = emit_bench_json("engines", {
+        "bench": "engines", "dataset": args.dataset,
+        "length": args.length, "batch_size": args.batch_size,
+        "unit": "items_per_sec", "rows": erows,
+    })
     print(f"wrote {path}")
     return 0
 

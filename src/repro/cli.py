@@ -29,9 +29,14 @@ from repro.core import (
 )
 from repro.metrics import OnArrivalCollector
 from repro.sketches import (
+    ColdFilter,
     ConservativeUpdateSketch,
     CountMinSketch,
     CountSketch,
+    ElasticSketch,
+    NitroSketch,
+    PyramidSketch,
+    UnivMon,
 )
 from repro.streams import (
     DATASET_NAMES,
@@ -61,6 +66,18 @@ SKETCHES = {
                                            engine=engine),
     "salsa-cs": lambda mem, seed, engine=None: SalsaCountSketch.for_memory(
         mem, d=5, s=8, seed=seed, engine=engine),
+    # The competitor family of Figs 8-16, batched by the matrix-kernel
+    # layer (see docs/architecture.md).
+    "pyramid": lambda mem, seed, engine=None: PyramidSketch.for_memory(
+        mem, d=4, seed=seed),
+    "nitro": lambda mem, seed, engine=None: NitroSketch.for_memory(
+        mem, d=5, p=0.1, seed=seed),
+    "elastic": lambda mem, seed, engine=None: ElasticSketch.for_memory(
+        mem, seed=seed),
+    "univmon": lambda mem, seed, engine=None: UnivMon.for_memory(
+        mem, d=5, seed=seed),
+    "coldfilter": lambda mem, seed, engine=None: ColdFilter.for_memory(
+        mem, seed=seed),
 }
 
 #: Sketches whose storage is engine-backed; ``--engine`` on any other
@@ -196,6 +213,9 @@ def cmd_figure(args) -> int:
     engine = getattr(args, "engine", None)
     if engine:
         argv = ["--engine", engine] + argv
+    jobs = getattr(args, "jobs", None)
+    if jobs:
+        argv = ["--jobs", str(jobs)] + argv
     return experiments_main(argv)
 
 
@@ -265,6 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="row engine backing every SALSA sketch in the "
                           "run (sets the process-wide default)")
+    fig.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for independent sweep cells")
     fig.set_defaults(func=cmd_figure)
 
     return parser

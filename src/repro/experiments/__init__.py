@@ -18,6 +18,8 @@ from repro.experiments.runner import (
     run_updates_batched,
     sweep,
     throughput_mops,
+    using_engine,
+    using_jobs,
 )
 from repro.experiments.report import emit, format_table
 from repro.experiments.registry import EXPERIMENTS, run
@@ -30,6 +32,8 @@ __all__ = [
     "run_updates_batched",
     "throughput_mops",
     "sweep",
+    "using_engine",
+    "using_jobs",
     "nrmse_of",
     "emit",
     "format_table",

@@ -8,7 +8,7 @@ import time
 
 from repro.experiments.registry import EXPERIMENTS, run
 from repro.experiments.report import emit
-from repro.experiments.runner import using_engine
+from repro.experiments.runner import using_engine, using_jobs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -25,6 +25,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="row engine backing every SALSA sketch in "
                              "this run (the figures' numbers are engine-"
                              "independent; speed is not)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for independent "
+                             "(sketch, trace, seed) sweep cells "
+                             "(default 1; accuracy tables are "
+                             "identical either way, and wall-clock "
+                             "speed sweeps always run serial)")
     args = parser.parse_args(argv)
 
     if args.list or not args.figures:
@@ -34,7 +40,7 @@ def main(argv: list[str] | None = None) -> int:
 
     targets = (sorted(EXPERIMENTS) if args.figures == ["all"]
                else args.figures)
-    with using_engine(args.engine):
+    with using_engine(args.engine), using_jobs(args.jobs):
         for fig in targets:
             start = time.perf_counter()
             for result in run(fig):

@@ -53,5 +53,6 @@ def ablation_encoding(length: int | None = None, trials: int | None = None
         lambda sk, mem, t: throughput_mops(
             sk, synthetic_caida(length, "ny18", seed=t)),
         trials,
+        jobs=1,  # wall-clock cells must not share cores (--jobs)
     )
     return [error, speed]

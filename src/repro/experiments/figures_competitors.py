@@ -59,7 +59,8 @@ def fig8(dataset: str = "ny18", length: int | None = None,
     )
     for name, factory in _ALGOS.items():
         for mem in config.MEMORY_SWEEP:
-            n_samples, a_samples, r_samples, s_samples = [], [], [], []
+            n_samples, a_samples, r_samples = [], [], []
+            s_samples, b_samples = [], []
             for t in range(trials):
                 trace = synthetic_caida(length, dataset, seed=t)
                 sketch = factory(mem, seed=t)
@@ -72,10 +73,15 @@ def fig8(dataset: str = "ny18", length: int | None = None,
                 s_samples.append(
                     throughput_mops(factory(mem, seed=t + 100), trace)
                 )
+                b_samples.append(
+                    throughput_mops(factory(mem, seed=t + 100), trace,
+                                    batch_size=4096)
+                )
             nrmse.series_named(name).add(mem, n_samples)
             aae.series_named(name).add(mem, a_samples)
             are.series_named(name).add(mem, r_samples)
             speed.series_named(name).add(mem, s_samples)
+            speed.series_named(f"{name} (batched)").add(mem, b_samples)
     return [speed, nrmse, aae, are]
 
 

@@ -63,6 +63,7 @@ def fig16_speed(dataset: str = "ny18", length: int | None = None,
         lambda sk, mem, t: throughput_mops(
             sk, synthetic_caida(length, dataset, seed=t)),
         trials,
+        jobs=1,  # wall-clock cells must not share cores (--jobs)
     )
 
 

@@ -192,6 +192,7 @@ def ext_nitro(length: int | None = None, trials: int | None = None,
         lambda sk, p, t: throughput_mops(
             sk, synthetic_caida(length, "ny18", seed=t)),
         trials,
+        jobs=1,  # wall-clock cells must not share cores (--jobs)
     )
     return [error, speed]
 

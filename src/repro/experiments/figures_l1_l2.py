@@ -66,6 +66,7 @@ def fig10_speed(dataset: str, length: int | None = None,
         lambda sk, mem, t: throughput_mops(
             sk, make_dataset(dataset, length, seed=t)),
         trials,
+        jobs=1,  # wall-clock cells must not share cores (--jobs)
     )
 
 

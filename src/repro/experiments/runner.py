@@ -8,6 +8,7 @@ tables that the benchmark harness writes under ``results/``.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -143,27 +144,104 @@ def throughput_mops(sketch, trace, batch_size: int | None = None) -> float:
 # ----------------------------------------------------------------------
 # sweep helpers
 # ----------------------------------------------------------------------
+#: Process-wide worker count for sweep grids (set via using_jobs / CLI
+#: --jobs).  1 = serial.
+_JOBS = 1
+
+#: Closure state inherited by fork()ed sweep workers; never pickled.
+_SWEEP_STATE: tuple | None = None
+
+
+def get_jobs() -> int:
+    """Current sweep parallelism (worker processes; 1 = serial)."""
+    return _JOBS
+
+
+@contextmanager
+def using_jobs(jobs: int | None):
+    """Run a block with ``jobs`` worker processes for sweep grids.
+
+    ``None`` leaves the current setting untouched.  The runner only
+    parallelizes where the ``fork`` start method exists (grid cells
+    close over unpicklable factories; fork inherits them); elsewhere
+    sweeps stay serial regardless of the setting.
+    """
+    global _JOBS
+    if jobs is None:
+        yield
+        return
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    previous = _JOBS
+    _JOBS = jobs
+    try:
+        yield
+    finally:
+        _JOBS = previous
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _eval_cell(cell: tuple[str, float, int]) -> float:
+    """Evaluate one (algorithm, x, trial) grid cell in a worker."""
+    name, x, trial = cell
+    factories, measure = _SWEEP_STATE
+    sketch = factories[name](x, trial)
+    return measure(sketch, x, trial)
+
+
 def sweep(
     result: ExperimentResult,
     xs: Iterable[float],
     factories: dict[str, Callable[[float, int], object]],
     measure: Callable[[object, float, int], float],
     trials: int,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Generic sweep: for each x and algorithm, average over trials.
 
     ``factories[name](x, trial)`` builds a fresh sketch;
     ``measure(sketch, x, trial)`` runs it and returns the metric.
+
+    ``jobs`` (default: the :func:`using_jobs` setting) > 1 fans the
+    independent (algorithm, x, trial) grid cells out over that many
+    ``fork`` worker processes.  Accuracy cells are deterministic
+    functions of ``(x, trial)`` and results are reassembled in grid
+    order, so those tables are identical to a serial run.  Sweeps that
+    *time wall-clock* inside a cell (``throughput_mops``) must pass
+    ``jobs=1`` -- concurrent cells share cores and would distort the
+    measurement -- and every speed figure does.
     """
-    for name, factory in factories.items():
+    xs = list(xs)
+    jobs = get_jobs() if jobs is None else jobs
+    cells = [(name, x, trial)
+             for name in factories for x in xs for trial in range(trials)]
+    if jobs > 1 and _fork_available() and len(cells) > 1:
+        global _SWEEP_STATE
+        _SWEEP_STATE = (factories, measure)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(min(jobs, len(cells))) as pool:
+                samples = pool.map(_eval_cell, cells)
+        finally:
+            _SWEEP_STATE = None
+    else:
+        samples = [_eval_cell_serial(factories, measure, cell)
+                   for cell in cells]
+    it = iter(samples)
+    for name in factories:
         series = result.series_named(name)
         for x in xs:
-            samples = []
-            for trial in range(trials):
-                sketch = factory(x, trial)
-                samples.append(measure(sketch, x, trial))
-            series.add(x, samples)
+            series.add(x, [next(it) for _ in range(trials)])
     return result
+
+
+def _eval_cell_serial(factories, measure, cell) -> float:
+    name, x, trial = cell
+    sketch = factories[name](x, trial)
+    return measure(sketch, x, trial)
 
 
 def nrmse_of(sketch, trace) -> float:

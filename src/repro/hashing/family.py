@@ -152,6 +152,27 @@ class HashFamily:
         """Row indices of a batch in a width-``w`` row (int64 array)."""
         return (self.raw_many(items, row) & np.uint64(w - 1)).astype(np.int64)
 
+    def raw_matrix(self, items: np.ndarray,
+                   rows: int | None = None) -> np.ndarray:
+        """Raw hashes of a batch for *all* rows: a ``(rows, n)`` uint64
+        matrix from a single vectorized :func:`mix64_many` call (the
+        matrix-kernel door; see :mod:`repro.sketches._kernels`).
+
+        Row ``r`` equals :meth:`raw_many` ``(items, r)`` exactly;
+        BobHash families stack the scalar fallback per row.
+        """
+        d = self.d if rows is None else rows
+        if self._use_bobhash:
+            return np.stack([self.raw_many(items, row) for row in range(d)])
+        seeds = np.array(self.seeds[:d], dtype=np.uint64)
+        return mix64_many(items.view(np.uint64)[None, :] ^ seeds[:, None])
+
+    def index_matrix(self, items: np.ndarray, w: int,
+                     rows: int | None = None) -> np.ndarray:
+        """All rows' indices at once: a ``(rows, n)`` int64 matrix."""
+        return (self.raw_matrix(items, rows)
+                & np.uint64(w - 1)).astype(np.int64)
+
     def sign_many(self, items: np.ndarray, row: int) -> np.ndarray:
         """+1/-1 sign array, from the top bit of each row hash."""
         top = (self.raw_many(items, row) >> np.uint64(63)).astype(np.int64)

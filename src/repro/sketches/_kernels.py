@@ -1,0 +1,163 @@
+"""Matrix batch kernels for fixed-width ``d x w`` counter sketches.
+
+The fixed-width competitor family (Count-Min, Count Sketch, and the
+sketches built from them: Elastic's light part, Cold Filter's stage 1,
+UnivMon's level sketches, NitroSketch's rows) all share one physical
+shape: a ``d x w`` matrix of counters where an update touches one
+column per row and a query gathers one column per row.  This module is
+the single vectorized datapath for that shape -- every primitive takes
+*stacked* per-row indices (a ``(d, n)`` matrix built from one
+:func:`~repro.hashing.mix64_many` call over all rows at once) and
+performs the whole batch in a constant number of NumPy operations:
+
+* :func:`scatter_add_capped` -- saturating Count-Min-style bulk add
+  (one ``np.add.at`` over the flattened matrix for all rows);
+* :func:`scatter_add_signed` -- Count-Sketch-style signed bulk add
+  behind a per-row clamp guard (rows that could clamp are *not*
+  applied and reported back for an exact ordered replay);
+* :func:`scatter_add_running` -- ordered bulk add that also returns the
+  post-update value of each touched counter (the on-arrival door:
+  exact intermediate estimates without a per-item loop);
+* :func:`gather_2d` / :func:`min_over_rows` / :func:`median_over_rows`
+  -- the query-side gathers and row aggregations.
+
+The duplicate pre-aggregation front door is shared with the rest of
+the batch pipeline: callers dedup keys with
+:func:`repro.sketches.base.aggregate_batch` *before* building the
+index matrix, so the kernels only ever see unique keys per batch.
+Everything here preserves the batch contract (bit-identity with the
+per-item walk); the guard-then-fallback decisions stay in the sketches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def flat_indices(idx2d: np.ndarray, w: int) -> np.ndarray:
+    """Flatten a ``(d, n)`` column-index matrix into indices of the
+    raveled ``d x w`` matrix (row ``r`` occupies ``[r*w, (r+1)*w)``)."""
+    d = idx2d.shape[0]
+    offsets = (np.arange(d, dtype=np.int64) * w)[:, None]
+    return (idx2d + offsets).ravel()
+
+
+def gather_2d(mat: np.ndarray, idx2d: np.ndarray) -> np.ndarray:
+    """Counter values at ``idx2d``: a ``(d, n)`` gather in one shot."""
+    return mat.ravel()[flat_indices(idx2d, mat.shape[1])].reshape(idx2d.shape)
+
+
+def min_over_rows(values2d: np.ndarray) -> np.ndarray:
+    """Count-Min query aggregation: the minimum across rows."""
+    return values2d.min(axis=0)
+
+
+def median_over_rows(votes2d: np.ndarray) -> np.ndarray:
+    """Count-Sketch query aggregation, replicating
+    :func:`repro.sketches.base.median` exactly: the middle row for odd
+    ``d`` (same dtype as the votes), the mean of the two middle rows
+    for even ``d`` (float).  Sorts a copy; the input is not modified.
+    """
+    votes = np.sort(votes2d, axis=0)
+    d = votes.shape[0]
+    mid = d // 2
+    if d % 2:
+        return votes[mid]
+    return (votes[mid - 1] + votes[mid]) / 2
+
+
+def _aggregate_flat(flat: np.ndarray, deltas: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse duplicate flat indices: ``(unique_flat, summed_deltas)``."""
+    uidx, inv = np.unique(flat, return_inverse=True)
+    agg = np.zeros(len(uidx), dtype=np.int64)
+    np.add.at(agg, inv, deltas)
+    return uidx, agg
+
+
+def scatter_add_capped(mat: np.ndarray, idx2d: np.ndarray,
+                       sums: np.ndarray, cap: int) -> None:
+    """Saturating bulk add of per-key ``sums`` into every row at once.
+
+    Exact for non-negative inflows because the cap is absorbing: the
+    final value of a counter receiving total inflow ``t`` is
+    ``min(cap, old + t)`` regardless of arrival order.  Callers
+    guarantee ``sums >= 0`` and that the batch total fits int64
+    (:func:`repro.sketches.base.batch_sum_fits`).
+    """
+    w = mat.shape[1]
+    flat = flat_indices(idx2d, w)
+    deltas = np.broadcast_to(sums, idx2d.shape).ravel()
+    uidx, agg = _aggregate_flat(flat, deltas)
+    view = mat.reshape(-1)
+    view[uidx] = np.minimum(cap, view[uidx] + agg)
+
+
+def scatter_add_signed(mat: np.ndarray, idx2d: np.ndarray,
+                       signed2d: np.ndarray, mags: np.ndarray,
+                       lo: int, hi: int) -> np.ndarray:
+    """Signed bulk add behind a per-row clamp guard.
+
+    ``signed2d[(r, i)]`` is the key's signed delta in row ``r``;
+    ``mags`` its absolute inflow (sign-free, shared by all rows).  A
+    row is applied only when every touched counter provably stays in
+    ``[lo, hi]`` under the worst-case prefix (``old +/- total |inflow|``
+    in range); the returned boolean array marks the rows that were
+    *skipped* so the caller can replay them in exact stream order.
+    """
+    d, _ = idx2d.shape
+    w = mat.shape[1]
+    flat = flat_indices(idx2d, w)
+    uidx, inv = np.unique(flat, return_inverse=True)
+    agg = np.zeros(len(uidx), dtype=np.int64)
+    np.add.at(agg, inv, signed2d.ravel())
+    mag = np.zeros(len(uidx), dtype=np.int64)
+    np.add.at(mag, inv, np.broadcast_to(mags, idx2d.shape).ravel())
+    view = mat.reshape(-1)
+    old = view[uidx]
+    risky = (old + mag > hi) | (old - mag < lo)
+    deferred = np.zeros(d, dtype=bool)
+    deferred[np.unique(uidx[risky] // w)] = True
+    safe = ~deferred[uidx // w]
+    view[uidx[safe]] = old[safe] + agg[safe]
+    return deferred
+
+
+def scatter_add_running(mat: np.ndarray, idx2d: np.ndarray,
+                        deltas2d: np.ndarray) -> np.ndarray:
+    """Ordered bulk add returning each update's post-update value.
+
+    Applies ``deltas2d`` in stream order per counter and returns the
+    ``(d, n)`` matrix of counter values *immediately after* each
+    update -- the exact intermediate states an on-arrival per-item
+    walk would observe.  Callers must rule out clamping beforehand
+    (no saturation may fire mid-batch); with pure additions, the value
+    after occurrence ``t`` of a counter is its start value plus the
+    prefix sum of its own deltas, computed here with one stable sort
+    and one cumulative sum over the whole ``d x n`` batch.
+    """
+    d, n = idx2d.shape
+    w = mat.shape[1]
+    flat = flat_indices(idx2d, w)
+    deltas = deltas2d.ravel()
+    order = np.argsort(flat, kind="stable")
+    fs = flat[order]
+    cs = np.cumsum(deltas[order])
+    total = d * n
+    starts = np.empty(total, dtype=bool)
+    starts[0] = True
+    np.not_equal(fs[1:], fs[:-1], out=starts[1:])
+    start_pos = np.flatnonzero(starts)
+    group_id = np.cumsum(starts) - 1
+    base = np.empty(len(start_pos), dtype=cs.dtype)
+    base[0] = 0
+    base[1:] = cs[start_pos[1:] - 1]
+    view = mat.reshape(-1)
+    run_sorted = view[fs] + (cs - base[group_id])
+    ends = np.empty(len(start_pos), dtype=np.int64)
+    ends[:-1] = start_pos[1:] - 1
+    ends[-1] = total - 1
+    view[fs[start_pos]] = run_sorted[ends]
+    running = np.empty(total, dtype=run_sorted.dtype)
+    running[order] = run_sorted
+    return running.reshape(d, n)

@@ -207,13 +207,15 @@ class BatchOpsMixin:
             update(x, v)
 
     def query_many(self, items) -> list:
-        """Per-item ``query`` over a batch, preserving order."""
-        if hasattr(items, "items") and isinstance(getattr(items, "items"), np.ndarray):
-            items = items.items
-        if isinstance(items, np.ndarray):
-            items = items.tolist()
+        """Per-item ``query`` over a batch, preserving order.
+
+        Normalizes through :func:`as_batch` so lists, tuples, NumPy
+        arrays, Traces, and WeightedTraces are all accepted uniformly
+        (the same front door ``update_many`` uses).
+        """
+        items, _ = as_batch(items)
         query = self.query
-        return [query(x) for x in items]
+        return [query(x) for x in items.tolist()]
 
 
 def width_for_memory(memory_bytes: int, d: int, counter_bits: int,

@@ -17,11 +17,13 @@ from __future__ import annotations
 
 from array import array
 
+import numpy as np
+
 from repro.hashing import HashFamily, mix64
-from repro.sketches.base import StreamModel
+from repro.sketches.base import BatchOpsMixin, StreamModel, as_batch
 
 
-class ColdFilter:
+class ColdFilter(BatchOpsMixin):
     """Two-stage Cold Filter wrapper around any stage-2 sketch.
 
     Parameters
@@ -85,6 +87,126 @@ class ColdFilter:
         if est < self.threshold:
             return est
         return self.threshold + self.stage2.query(item)
+
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_memory(cls, memory_bytes: int, d1: int = 3, stage1_bits: int = 4,
+                   stage1_fraction: float = 0.25, seed: int = 0,
+                   stage2_factory=None) -> "ColdFilter":
+        """Largest filter fitting in ``memory_bytes``: stage 1 takes
+        ~``stage1_fraction`` of the budget, the stage-2 sketch (default
+        a Conservative Update Sketch, the original's "CM-CU") the rest.
+        """
+        from repro.sketches.conservative_update import (
+            ConservativeUpdateSketch,
+        )
+
+        if stage2_factory is None:
+            stage2_factory = (
+                lambda mem, s: ConservativeUpdateSketch.for_memory(
+                    mem, d=4, seed=s))
+        w1 = 2
+        while (w1 * 2 * stage1_bits) / 8 <= memory_bytes * stage1_fraction:
+            w1 *= 2
+        stage2_mem = memory_bytes - (w1 * stage1_bits + 7) // 8
+        stage2 = stage2_factory(stage2_mem, seed)
+        return cls(w1=w1, stage2=stage2, d1=d1, stage1_bits=stage1_bits,
+                   seed=seed)
+
+    def update_many(self, items, values=None) -> None:
+        """Batched two-stage filtering.
+
+        All stage-1 indices hash in one vectorized pass.  Stage-1
+        counters only grow and stop at the threshold, so an item whose
+        counters are *all* saturated at batch start stays saturated --
+        its updates spill wholesale with no stage-1 effect.  When the
+        whole batch is saturated (the steady state on skewed streams),
+        stage 1 is skipped entirely; otherwise the conservative walk
+        runs in exact stream order for the unsaturated arrivals.
+        Either way the spill stream is collected in stream order and
+        handed to ``stage2.update_many`` in one call, which stage 2's
+        own batch contract makes equivalent to per-item spills.
+        """
+        items, values = as_batch(items, values)
+        n = len(items)
+        if n == 0:
+            return
+        if int(values.min()) < 1:
+            raise ValueError("Cold Filter is a Cash Register framework")
+        if self.hashes.uses_bobhash:
+            BatchOpsMixin.update_many(self, items, values)
+            return
+        idx2d = self.hashes.index_matrix(items, self.w1, self.d1)
+        stage1_view = np.frombuffer(self.stage1, dtype=np.int64)
+        threshold = self.threshold
+        saturated = (stage1_view[idx2d] == threshold).all(axis=0)
+        if saturated.all():
+            # Pure pass-through: every arrival spills unchanged.
+            self._spill_many(items, values)
+            return
+        stage1 = self.stage1
+        spill_items: list[int] = []
+        spill_values: list[int] = []
+        cols = idx2d.T.tolist()
+        for item, v, idxs, done in zip(items.tolist(), values.tolist(),
+                                       cols, saturated.tolist()):
+            if done:
+                spill_items.append(item)
+                spill_values.append(v)
+                continue
+            est = min(stage1[i] for i in idxs)
+            total = est + v
+            if total <= threshold:
+                for i in idxs:
+                    if stage1[i] < total:
+                        stage1[i] = total
+                continue
+            for i in idxs:
+                if stage1[i] < threshold:
+                    stage1[i] = threshold
+            spill_items.append(item)
+            spill_values.append(total - threshold)
+        if spill_items:
+            self._spill_many(np.asarray(spill_items, dtype=np.int64),
+                             np.asarray(spill_values, dtype=np.int64))
+
+    def _spill_many(self, items: np.ndarray, values: np.ndarray) -> None:
+        """Route an ordered spill stream into stage 2, batched when the
+        stage-2 sketch has a batch door."""
+        update_many = getattr(self.stage2, "update_many", None)
+        if update_many is not None:
+            update_many(items, values)
+            return
+        update = self.stage2.update
+        for x, v in zip(items.tolist(), values.tolist()):
+            update(x, v)
+
+    def query_many(self, items) -> list:
+        """Batched query: stage-1 gather + stage-2 batch query."""
+        if self.hashes.uses_bobhash:
+            return BatchOpsMixin.query_many(self, items)
+        items, _ = as_batch(items)
+        if len(items) == 0:
+            return []
+        uniq, inverse = np.unique(items, return_inverse=True)
+        idx2d = self.hashes.index_matrix(uniq, self.w1, self.d1)
+        est = np.frombuffer(self.stage1, dtype=np.int64)[idx2d].min(axis=0)
+        hot = est >= self.threshold
+        out = est.astype(object)
+        if hot.any():
+            hot_items = uniq[hot]
+            query_many = getattr(self.stage2, "query_many", None)
+            if query_many is not None:
+                stage2_est = query_many(hot_items)
+            else:
+                stage2_est = [self.stage2.query(x)
+                              for x in hot_items.tolist()]
+            out[hot] = [self.threshold + e for e in stage2_est]
+        else:
+            out = est
+        return out[inverse].tolist()
 
     # ------------------------------------------------------------------
     @property

@@ -7,22 +7,25 @@ minimum (section III).  ``counter_bits`` configures the width
 *saturate* -- "the counter is only incremented if it does not
 overflow" -- which is exactly what makes them useless for heavy
 hitters and what SALSA fixes.
+
+Storage is one contiguous ``(d, w)`` int64 matrix so the batch door is
+a single pass through the matrix kernels
+(:mod:`repro.sketches._kernels`): one stacked hash, one scatter-add,
+one gather per batch -- no per-row Python loop.
 """
 
 from __future__ import annotations
 
-from array import array
-
 import numpy as np
 
 from repro.hashing import HashFamily, mix64
+from repro.sketches import _kernels
 from repro.sketches.base import (
     BatchOpsMixin,
     StreamModel,
     aggregate_batch,
     as_batch,
     batch_sum_fits,
-    batched_min_query,
     width_for_memory,
 )
 
@@ -68,7 +71,12 @@ class CountMinSketch(BatchOpsMixin):
         self.hashes = hash_family if hash_family is not None else HashFamily(d, seed)
         if self.hashes.d < d:
             raise ValueError("hash family has fewer rows than the sketch")
-        self.rows = [array("q", [0]) * w for _ in range(d)]
+        self.mat = np.zeros((d, w), dtype=np.int64)
+
+    @property
+    def rows(self) -> list[np.ndarray]:
+        """Per-row counter views (back-compat with the list-of-rows API)."""
+        return list(self.mat)
 
     @classmethod
     def for_memory(cls, memory_bytes: int, d: int = 4, counter_bits: int = 32,
@@ -82,34 +90,35 @@ class CountMinSketch(BatchOpsMixin):
         """Add ``value`` to each of the item's counters (saturating)."""
         mask = self.w - 1
         cap = self.cap
-        for row, seed in zip(self.rows, self.hashes.seeds):
+        for row, seed in zip(self.mat, self.hashes.seeds):
             idx = mix64(item ^ seed) & mask
-            new = row[idx] + value
+            new = int(row[idx]) + value
             row[idx] = cap if new > cap else (0 if new < 0 else new)
 
     def query(self, item: int) -> int:
         """Minimum of the item's counters (an over-estimate of f_x)."""
         mask = self.w - 1
         est = None
-        for row, seed in zip(self.rows, self.hashes.seeds):
-            c = row[mix64(item ^ seed) & mask]
+        for row, seed in zip(self.mat, self.hashes.seeds):
+            c = int(row[mix64(item ^ seed) & mask])
             if est is None or c < est:
                 est = c
         return est
 
     # ------------------------------------------------------------------
-    # batch pipeline
+    # batch pipeline (matrix kernels)
     # ------------------------------------------------------------------
     def update_many(self, items, values=None) -> None:
-        """Fully vectorized batch update.
+        """Fully vectorized batch update: one 2D kernel call.
 
-        Positive inflows into saturating counters are order-free
-        (the cap is absorbing), so duplicates aggregate, each row hashes
-        in one vectorized call, and counters take one gather/scatter.
-        Negative values (Strict Turnstile deletions) clamp at zero
-        per step, which is order-sensitive, so they use the exact
-        per-item fallback; so do >=63-bit counters and batches whose
-        total inflow nears the int64 scratch space.
+        Positive inflows into saturating counters are order-free (the
+        cap is absorbing), so duplicates pre-aggregate, all ``d`` rows
+        hash in one stacked ``mix64_many`` call, and the counters take
+        one matrix scatter-add.  Negative values (Strict Turnstile
+        deletions) clamp at zero per step, which is order-sensitive,
+        so they use the exact per-item fallback; so do >=63-bit
+        counters and batches whose total inflow nears the int64
+        scratch space.
         """
         items, values = as_batch(items, values)
         if len(items) == 0:
@@ -119,25 +128,20 @@ class CountMinSketch(BatchOpsMixin):
             BatchOpsMixin.update_many(self, items, values)
             return
         uniq, sums = aggregate_batch(items, values)
-        cap = self.cap
-        for row_id, row in enumerate(self.rows):
-            idxs = self.hashes.index_many(uniq, row_id, self.w)
-            uidx, inv = np.unique(idxs, return_inverse=True)
-            delta = np.zeros(len(uidx), dtype=np.int64)
-            np.add.at(delta, inv, sums)
-            view = np.frombuffer(row, dtype=np.int64)
-            view[uidx] = np.minimum(cap, view[uidx] + delta)
+        idx2d = self.hashes.index_matrix(uniq, self.w, self.d)
+        _kernels.scatter_add_capped(self.mat, idx2d, sums, self.cap)
 
     def query_many(self, items) -> list:
-        """Fully vectorized batch query (min over row gathers)."""
+        """Fully vectorized batch query: one gather + min over rows."""
         if self.hashes.uses_bobhash:
             return BatchOpsMixin.query_many(self, items)
-
-        def row_values(row_id, uniq):
-            idxs = self.hashes.index_many(uniq, row_id, self.w)
-            return np.frombuffer(self.rows[row_id], dtype=np.int64)[idxs]
-
-        return batched_min_query(items, self.d, row_values)
+        items, _ = as_batch(items)
+        if len(items) == 0:
+            return []
+        uniq, inverse = np.unique(items, return_inverse=True)
+        idx2d = self.hashes.index_matrix(uniq, self.w, self.d)
+        est = _kernels.min_over_rows(_kernels.gather_2d(self.mat, idx2d))
+        return est[inverse].tolist()
 
     # ------------------------------------------------------------------
     @property
@@ -147,11 +151,11 @@ class CountMinSketch(BatchOpsMixin):
 
     def zero_counters(self, row: int = 0) -> int:
         """Number of zero-valued counters in ``row`` (Linear Counting)."""
-        return sum(1 for c in self.rows[row] if c == 0)
+        return int((self.mat[row] == 0).sum())
 
     def row_counters(self, row: int) -> list[int]:
         """A copy of one row's counter values."""
-        return list(self.rows[row])
+        return self.mat[row].tolist()
 
     def merge(self, other: "CountMinSketch") -> None:
         """Counter-wise sum: self becomes s(A u B).
@@ -160,9 +164,7 @@ class CountMinSketch(BatchOpsMixin):
         shared hash functions.
         """
         self._check_compatible(other)
-        for mine, theirs in zip(self.rows, other.rows):
-            for i in range(self.w):
-                mine[i] = min(self.cap, mine[i] + theirs[i])
+        np.minimum(self.cap, self.mat + other.mat, out=self.mat)
 
     def subtract(self, other: "CountMinSketch") -> None:
         """Counter-wise difference: self becomes s(A \\ B).
@@ -171,9 +173,7 @@ class CountMinSketch(BatchOpsMixin):
         that B is a subset of A" (section V).
         """
         self._check_compatible(other)
-        for mine, theirs in zip(self.rows, other.rows):
-            for i in range(self.w):
-                mine[i] -= theirs[i]
+        self.mat -= other.mat
 
     def _check_compatible(self, other: "CountMinSketch") -> None:
         if (self.w, self.d) != (other.w, other.d):

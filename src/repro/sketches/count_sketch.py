@@ -8,22 +8,27 @@ hash "unbiases" collision noise, so each row is an unbiased estimator.
 The baseline uses 32-bit two's-complement counters (sign-magnitude is
 a SALSA-specific change, see :mod:`repro.core.salsa_cs`); values are
 clamped to the representable range, which never binds in practice.
+
+Storage is one contiguous ``(d, w)`` int64 matrix; batch updates and
+queries go through the matrix kernels
+(:mod:`repro.sketches._kernels`), and
+:meth:`CountSketch.update_many_with_estimates` additionally exposes
+the *on-arrival* batch door (post-update estimates per arrival) that
+UnivMon's heap maintenance needs.
 """
 
 from __future__ import annotations
 
-from array import array
-
 import numpy as np
 
 from repro.hashing import HashFamily, mix64
+from repro.sketches import _kernels
 from repro.sketches.base import (
     BatchOpsMixin,
     StreamModel,
     aggregate_batch,
     as_batch,
     batch_sum_fits,
-    batched_median_query,
     median,
     width_for_memory,
 )
@@ -65,7 +70,12 @@ class CountSketch(BatchOpsMixin):
         self.max_val = (1 << (counter_bits - 1)) - 1
         self.min_val = -(1 << (counter_bits - 1))
         self.hashes = hash_family if hash_family is not None else HashFamily(d, seed)
-        self.rows = [array("q", [0]) * w for _ in range(d)]
+        self.mat = np.zeros((d, w), dtype=np.int64)
+
+    @property
+    def rows(self) -> list[np.ndarray]:
+        """Per-row counter views (back-compat with the list-of-rows API)."""
+        return list(self.mat)
 
     @classmethod
     def for_memory(cls, memory_bytes: int, d: int = 5, counter_bits: int = 32,
@@ -79,89 +89,122 @@ class CountSketch(BatchOpsMixin):
         """Add ``g_i(x) * value`` to the item's counter in each row."""
         mask = self.w - 1
         lo, hi = self.min_val, self.max_val
-        for row, seed in zip(self.rows, self.hashes.seeds):
+        for row, seed in zip(self.mat, self.hashes.seeds):
             h = mix64(item ^ seed)
             idx = h & mask
             signed = value if h >> 63 else -value
-            new = row[idx] + signed
+            new = int(row[idx]) + signed
             row[idx] = hi if new > hi else (lo if new < lo else new)
 
     def query(self, item: int) -> float:
         """Median over rows of ``counter * g_i(x)``."""
         mask = self.w - 1
         votes = []
-        for row, seed in zip(self.rows, self.hashes.seeds):
+        for row, seed in zip(self.mat, self.hashes.seeds):
             h = mix64(item ^ seed)
-            c = row[h & mask]
+            c = int(row[h & mask])
             votes.append(c if h >> 63 else -c)
         return median(votes)
 
     def row_estimate(self, item: int, row: int) -> int:
         """Single-row unbiased estimate (used by UnivMon internals)."""
         h = mix64(item ^ self.hashes.seeds[row])
-        c = self.rows[row][h & (self.w - 1)]
+        c = int(self.mat[row][h & (self.w - 1)])
         return c if h >> 63 else -c
 
     # ------------------------------------------------------------------
-    # batch pipeline
+    # batch pipeline (matrix kernels)
     # ------------------------------------------------------------------
+    def _batch_fast_ok(self, values: np.ndarray) -> bool:
+        """Whether the vectorized kernels may run on this batch."""
+        return (self.counter_bits < 63 and batch_sum_fits(values)
+                and not self.hashes.uses_bobhash)
+
     def update_many(self, items, values=None) -> None:
         """Vectorized batch update with a per-row clamp guard.
 
-        A key keeps one sign per row, so duplicates aggregate; signed
-        deltas then scatter in one pass.  Clamping at the counter range
-        is the only order-sensitive step, so a row is vectorized only
-        when current +/- total absolute inflow provably stays in range
-        for every touched counter (true except for deliberately tiny
-        counters); otherwise that row replays in stream order.
+        A key keeps one sign per row, so duplicates aggregate; the
+        signed deltas then scatter through one 2D kernel call.
+        Clamping at the counter range is the only order-sensitive
+        step, so a row is vectorized only when current +/- total
+        absolute inflow provably stays in range for every touched
+        counter (true except for deliberately tiny counters);
+        otherwise that row replays in stream order.
         """
         items, values = as_batch(items, values)
         if len(items) == 0:
             return
-        if (int(values.min()) < 0 or self.counter_bits >= 63
-                or not batch_sum_fits(values) or self.hashes.uses_bobhash):
+        if int(values.min()) < 0 or not self._batch_fast_ok(values):
             BatchOpsMixin.update_many(self, items, values)
             return
         uniq, sums = aggregate_batch(items, values)
+        raw2d = self.hashes.raw_matrix(uniq, self.d)
+        idx2d = (raw2d & np.uint64(self.w - 1)).astype(np.int64)
+        signed2d = np.where(raw2d >> np.uint64(63), sums, -sums)
+        deferred = _kernels.scatter_add_signed(
+            self.mat, idx2d, signed2d, sums, self.min_val, self.max_val)
+        if deferred.any():
+            self._replay_rows(np.flatnonzero(deferred), items, values)
+
+    def _replay_rows(self, row_ids, items: np.ndarray,
+                     values: np.ndarray) -> None:
+        """Exact stream-order replay of the full batch in given rows."""
         lo, hi = self.min_val, self.max_val
-        full = None
-        for row_id, row in enumerate(self.rows):
-            raw = self.hashes.raw_many(uniq, row_id)
+        vals = values.tolist()
+        for row_id in row_ids:
+            row = self.mat[row_id]
+            raw = self.hashes.raw_many(items, row_id)
             idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
-            signed = np.where(raw >> np.uint64(63), sums, -sums)
-            uidx, inv = np.unique(idxs, return_inverse=True)
-            delta = np.zeros(len(uidx), dtype=np.int64)
-            np.add.at(delta, inv, signed)
-            mag = np.zeros(len(uidx), dtype=np.int64)
-            np.add.at(mag, inv, sums)
-            view = np.frombuffer(row, dtype=np.int64)
-            old = view[uidx]
-            if bool(np.any(old + mag > hi)) or bool(np.any(old - mag < lo)):
-                # Exact fallback for this row only: stream order.
-                if full is None:
-                    full = (items, values.tolist())
-                raw = self.hashes.raw_many(full[0], row_id)
-                full_idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
-                top = (raw >> np.uint64(63)).astype(bool)
-                for j, positive, v in zip(full_idxs.tolist(), top.tolist(),
-                                          full[1]):
-                    new = row[j] + (v if positive else -v)
-                    row[j] = hi if new > hi else (lo if new < lo else new)
-                continue
-            view[uidx] = old + delta
+            top = (raw >> np.uint64(63)).astype(bool)
+            for j, positive, v in zip(idxs.tolist(), top.tolist(), vals):
+                new = int(row[j]) + (v if positive else -v)
+                row[j] = hi if new > hi else (lo if new < lo else new)
+
+    def update_many_with_estimates(self, items, values=None):
+        """The on-arrival batch door: apply the batch in stream order
+        and return each arrival's *post-update* estimate.
+
+        Returns a length-``n`` array matching what interleaved
+        ``update(x); query(x)`` calls would have produced, computed
+        with one ordered scatter (:func:`_kernels.scatter_add_running`)
+        instead of a per-item loop.  Returns ``None`` without touching
+        any state when a clamp could fire mid-batch (or hashing is not
+        vectorizable) -- callers then take their exact per-item walk.
+        """
+        items, values = as_batch(items, values)
+        n = len(items)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if not self._batch_fast_ok(values):
+            return None
+        raw2d = self.hashes.raw_matrix(items, self.d)
+        idx2d = (raw2d & np.uint64(self.w - 1)).astype(np.int64)
+        positive = (raw2d >> np.uint64(63)) != 0
+        signed2d = np.where(positive, values, -values)
+        mags = np.abs(values)
+        flat = _kernels.flat_indices(idx2d, self.w)
+        uidx, mag = _kernels._aggregate_flat(
+            flat, np.broadcast_to(mags, idx2d.shape).ravel())
+        old = self.mat.reshape(-1)[uidx]
+        if bool(np.any(old + mag > self.max_val)) \
+                or bool(np.any(old - mag < self.min_val)):
+            return None
+        running = _kernels.scatter_add_running(self.mat, idx2d, signed2d)
+        return _kernels.median_over_rows(np.where(positive, running, -running))
 
     def query_many(self, items) -> list:
-        """Vectorized batch query: exact median over row gathers."""
+        """Vectorized batch query: exact median over one 2D gather."""
         if self.hashes.uses_bobhash:
             return BatchOpsMixin.query_many(self, items)
-
-        def row_votes(row_id, uniq):
-            raw = self.hashes.raw_many(uniq, row_id)
-            idxs = (raw & np.uint64(self.w - 1)).astype(np.int64)
-            vals = np.frombuffer(self.rows[row_id], dtype=np.int64)[idxs]
-            return np.where(raw >> np.uint64(63), vals, -vals)
-
-        return batched_median_query(items, self.d, row_votes)
+        items, _ = as_batch(items)
+        if len(items) == 0:
+            return []
+        uniq, inverse = np.unique(items, return_inverse=True)
+        raw2d = self.hashes.raw_matrix(uniq, self.d)
+        idx2d = (raw2d & np.uint64(self.w - 1)).astype(np.int64)
+        vals = _kernels.gather_2d(self.mat, idx2d)
+        votes = np.where(raw2d >> np.uint64(63), vals, -vals)
+        return _kernels.median_over_rows(votes)[inverse].tolist()
 
     # ------------------------------------------------------------------
     @property
@@ -172,9 +215,7 @@ class CountSketch(BatchOpsMixin):
     def merge(self, other: "CountSketch") -> None:
         """Counter-wise sum: self becomes s(A u B)."""
         self._check_compatible(other)
-        for mine, theirs in zip(self.rows, other.rows):
-            for i in range(self.w):
-                mine[i] += theirs[i]
+        self.mat += other.mat
 
     def subtract(self, other: "CountSketch") -> None:
         """Counter-wise difference: self becomes s(A \\ B).
@@ -182,9 +223,7 @@ class CountSketch(BatchOpsMixin):
         CS is a Turnstile sketch, so general subtraction is valid.
         """
         self._check_compatible(other)
-        for mine, theirs in zip(self.rows, other.rows):
-            for i in range(self.w):
-                mine[i] -= theirs[i]
+        self.mat -= other.mat
 
     def _check_compatible(self, other: "CountSketch") -> None:
         if (self.w, self.d) != (other.w, other.d):

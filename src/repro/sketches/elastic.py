@@ -19,8 +19,10 @@ head is wide or memory is tight (no per-entry key overhead).
 
 from __future__ import annotations
 
-from repro.hashing import HashFamily, mix64
-from repro.sketches.base import StreamModel
+import numpy as np
+
+from repro.hashing import HashFamily, mix64, mix64_many
+from repro.sketches.base import BatchOpsMixin, StreamModel, as_batch
 from repro.sketches.count_min import CountMinSketch
 
 #: Eviction threshold: evict when negative_votes / positive_votes
@@ -43,7 +45,7 @@ class _Bucket:
         self.flag = False     # True if the resident may have light-part mass
 
 
-class ElasticSketch:
+class ElasticSketch(BatchOpsMixin):
     """Heavy/light two-part sketch with vote-based ostracism.
 
     Parameters
@@ -124,6 +126,99 @@ class ElasticSketch:
                 return bucket.positive + self.light.query(item)
             return bucket.positive
         return self.light.query(item)
+
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_memory(cls, memory_bytes: int, heavy_fraction: float = 0.25,
+                   seed: int = 0) -> "ElasticSketch":
+        """Largest sketch fitting in ``memory_bytes``: the heavy part
+        takes ~``heavy_fraction`` of the budget (power-of-two buckets
+        of :data:`BUCKET_BYTES`), the light CMS the rest."""
+        buckets = 2
+        while buckets * 2 * BUCKET_BYTES <= memory_bytes * heavy_fraction:
+            buckets *= 2
+        light = memory_bytes - buckets * BUCKET_BYTES
+        if light < 2:
+            raise ValueError(
+                f"{memory_bytes}B cannot hold an Elastic Sketch")
+        return cls(heavy_buckets=buckets, light_memory=light, seed=seed)
+
+    def update_many(self, items, values=None) -> None:
+        """Batched insertion: vectorized bucket hashing, deferred light.
+
+        The heavy part's ostracism is order-dependent, so the bucket
+        walk stays in stream order -- but all bucket indices hash in
+        one vectorized pass, and every arrival destined for the light
+        part is *deferred*: the light CMS is saturating and
+        positive-only, so its updates commute and one
+        ``light.update_many`` call at the end lands it in the exact
+        per-item state.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if int(values.min()) <= 0:
+            raise ValueError("Elastic Sketch is Cash-Register-only")
+        self.n += int(values.sum())
+        bidx = (mix64_many(items.view(np.uint64)
+                           ^ np.uint64(mix64(self.seed)))
+                & np.uint64(self.heavy_buckets - 1)).astype(np.int64)
+        buckets = self._buckets
+        light_items: list[int] = []
+        light_values: list[int] = []
+        append_item = light_items.append
+        append_value = light_values.append
+        for item, value, i in zip(items.tolist(), values.tolist(),
+                                  bidx.tolist()):
+            bucket = buckets[i]
+            key = bucket.key
+            if key == item:
+                bucket.positive += value
+                continue
+            if key is None:
+                bucket.key = item
+                bucket.positive = value
+                bucket.flag = False
+                continue
+            bucket.negative += value
+            if bucket.negative < LAMBDA * bucket.positive:
+                append_item(item)
+                append_value(value)
+                continue
+            append_item(key)
+            append_value(bucket.positive)
+            bucket.key = item
+            bucket.positive = value
+            bucket.negative = 0
+            bucket.flag = True
+        if light_items:
+            self.light.update_many(
+                np.asarray(light_items, dtype=np.int64),
+                np.asarray(light_values, dtype=np.int64))
+
+    def query_many(self, items) -> list:
+        """Batched query: one light-part gather + a heavy lookup pass."""
+        items, _ = as_batch(items)
+        if len(items) == 0:
+            return []
+        uniq, inverse = np.unique(items, return_inverse=True)
+        light_est = self.light.query_many(uniq)
+        bidx = (mix64_many(uniq.view(np.uint64)
+                           ^ np.uint64(mix64(self.seed)))
+                & np.uint64(self.heavy_buckets - 1)).astype(np.int64)
+        buckets = self._buckets
+        out = []
+        for item, i, light in zip(uniq.tolist(), bidx.tolist(), light_est):
+            bucket = buckets[i]
+            if bucket.key == item:
+                out.append(bucket.positive + light if bucket.flag
+                           else bucket.positive)
+            else:
+                out.append(light)
+        est = np.asarray(out)
+        return est[inverse].tolist()
 
     def heavy_entries(self) -> list[tuple[int, int]]:
         """Resident ``(item, count)`` pairs, largest first."""

@@ -22,11 +22,20 @@ from __future__ import annotations
 
 from array import array
 
+import numpy as np
+
 from repro.hashing import HashFamily, mix64
-from repro.sketches.base import StreamModel
+from repro.sketches import _kernels
+from repro.sketches.base import (
+    BatchOpsMixin,
+    StreamModel,
+    aggregate_batch,
+    as_batch,
+    batch_sum_fits,
+)
 
 
-class PyramidSketch:
+class PyramidSketch(BatchOpsMixin):
     """Pyramid Sketch, Count-Min variant (PCM).
 
     Parameters
@@ -153,6 +162,90 @@ class PyramidSketch:
             if est is None or v < est:
                 est = v
         return est
+
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    def update_many(self, items, values=None) -> None:
+        """Fully vectorized batch update via carry arithmetic.
+
+        A layer counter receiving ``k`` unit increments counts in base
+        ``cap + 1``: its final value is ``(old + k) mod (cap + 1)`` and
+        it emits ``(old + k) // (cap + 1)`` carries (the top layer
+        saturates instead: ``min(old + k, cap)``).  The whole structure
+        is therefore a function of per-counter inflow *totals* --
+        order-invariant -- so duplicates aggregate, all ``d`` row
+        indices hash in one stacked pass, and carries propagate
+        layer by layer with one modular step each.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if int(values.min()) < 1:
+            raise ValueError("Pyramid is a Cash Register sketch")
+        if self.hashes.uses_bobhash or not batch_sum_fits(values):
+            BatchOpsMixin.update_many(self, items, values)
+            return
+        uniq, sums = aggregate_batch(items, values)
+        idx2d = self.hashes.index_matrix(uniq, self.w1, self.d)
+        idxs, carries = _kernels._aggregate_flat(
+            idx2d.ravel(), np.broadcast_to(sums, idx2d.shape).ravel())
+        for layer in range(self.n_layers):
+            vals = np.frombuffer(self.values[layer], dtype=np.int64)
+            cap = self._layer1_cap if layer == 0 else self._upper_cap
+            if layer == self.n_layers - 1:
+                vals[idxs] = np.minimum(cap, vals[idxs] + carries)
+                return
+            total = vals[idxs] + carries
+            vals[idxs] = total & cap          # total mod (cap + 1)
+            emitted = total >> cap.bit_length()  # total // (cap + 1)
+            fired = emitted > 0
+            if not fired.any():
+                return
+            child = idxs[fired]
+            parents = child >> 1
+            flag_view = np.frombuffer(self.flags[layer + 1], dtype=np.uint8)
+            np.bitwise_or.at(
+                flag_view, parents,
+                (np.uint8(1) << (child & 1).astype(np.uint8)))
+            idxs, carries = _kernels._aggregate_flat(parents, emitted[fired])
+
+    def query_many(self, items) -> list:
+        """Vectorized batch query: masked carry-chain walk + row min."""
+        if self.hashes.uses_bobhash:
+            return BatchOpsMixin.query_many(self, items)
+        # The vectorized walk shifts int64; reconstructed values only
+        # exceed that horizon when carries reached absurdly deep layers,
+        # where the exact Python walk (arbitrary precision) takes over.
+        shift_guard = self.delta
+        for layer in range(1, self.n_layers):
+            if shift_guard > 62 and any(self.flags[layer]):
+                return BatchOpsMixin.query_many(self, items)
+            shift_guard += self.delta - 2
+        items, _ = as_batch(items)
+        if len(items) == 0:
+            return []
+        uniq, inverse = np.unique(items, return_inverse=True)
+        idx2d = self.hashes.index_matrix(uniq, self.w1, self.d)
+        ridx, rinv = np.unique(idx2d.ravel(), return_inverse=True)
+        totals = np.frombuffer(self.values[0], dtype=np.int64)[ridx].copy()
+        shift = self.delta
+        child = ridx
+        active = np.ones(len(ridx), dtype=bool)
+        for layer in range(1, self.n_layers):
+            parents = child >> 1
+            flag_view = np.frombuffer(self.flags[layer], dtype=np.uint8)
+            bits = flag_view[parents] & (
+                np.uint8(1) << (child & 1).astype(np.uint8))
+            active &= bits != 0
+            if not active.any():
+                break
+            vals = np.frombuffer(self.values[layer], dtype=np.int64)
+            totals[active] += vals[parents[active]] << shift
+            shift += self.delta - 2
+            child = parents
+        est = totals[rinv].reshape(idx2d.shape).min(axis=0)
+        return est[inverse].tolist()
 
     # ------------------------------------------------------------------
     @property

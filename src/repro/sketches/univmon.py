@@ -17,8 +17,10 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.hashing import HashFamily, mix64
-from repro.sketches.base import StreamModel
+import numpy as np
+
+from repro.hashing import HashFamily, mix64, mix64_many
+from repro.sketches.base import BatchOpsMixin, StreamModel, as_batch
 from repro.sketches.count_sketch import CountSketch
 
 
@@ -45,7 +47,7 @@ class _TopHeap:
         return list(self.entries)
 
 
-class UnivMon:
+class UnivMon(BatchOpsMixin):
     """Universal sketch over ``levels`` sampled substreams.
 
     Parameters
@@ -114,6 +116,80 @@ class UnivMon:
     def query(self, item: int) -> float:
         """Frequency estimate from the level-0 sketch."""
         return self.sketches[0].query(item)
+
+    # ------------------------------------------------------------------
+    # batch pipeline
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_memory(cls, memory_bytes: int, d: int = 5, levels: int = 16,
+                   heap_size: int = 100, seed: int = 0) -> "UnivMon":
+        """Largest UnivMon fitting the level sketches (4B counters) in
+        ``memory_bytes``; heap entries are charged as they fill."""
+        w = 2
+        while levels * d * w * 2 * 4 <= memory_bytes:
+            w *= 2
+        if levels * d * w * 4 > memory_bytes:
+            raise ValueError(
+                f"{memory_bytes}B cannot hold {levels} level sketches")
+        return cls(w=w, d=d, levels=levels, heap_size=heap_size, seed=seed)
+
+    def _deepest_levels(self, items: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_max_level` over a batch: the number of
+        leading levels (from 1 up) whose sampling bit is 1."""
+        if self.levels == 1:
+            return np.zeros(len(items), dtype=np.int64)
+        keys = items.view(np.uint64)[None, :] ^ np.array(
+            self._sample_seeds[1:], dtype=np.uint64)[:, None]
+        bits = (mix64_many(keys) & np.uint64(1)).astype(bool)
+        return np.logical_and.accumulate(bits, axis=0).sum(axis=0)
+
+    def update_many(self, items, values=None) -> None:
+        """Batched update: vectorized level assignment, then one
+        matrix-kernel pass per level with exact heap replay.
+
+        Levels are independent (each owns its sketch and heap), and an
+        item reaches levels ``0..deepest``; feeding each level its
+        sub-batch in stream order reproduces the per-item walk exactly.
+        Per level, :meth:`CountSketch.update_many_with_estimates`
+        bulk-applies the sub-batch *and* returns each arrival's
+        post-update estimate, so the heap sees the same sequence of
+        offers as the interleaved per-item loop; levels whose sketch is
+        not a vectorizable plain Count Sketch (or could clamp
+        mid-batch) take the exact per-item walk instead.
+        """
+        items, values = as_batch(items, values)
+        if len(items) == 0:
+            return
+        if int(values.min()) < 1:
+            raise ValueError("UnivMon is used on Cash Register streams")
+        self.volume += int(values.sum())
+        deepest = self._deepest_levels(items)
+        for j in range(self.levels):
+            mask = deepest >= j
+            if not mask.any():
+                continue
+            sub_items = items[mask]
+            sub_values = values[mask]
+            sketch = self.sketches[j]
+            heap = self.heaps[j]
+            estimates = None
+            if type(sketch) is CountSketch:
+                estimates = sketch.update_many_with_estimates(
+                    sub_items, sub_values)
+            if estimates is None:
+                for x, v in zip(sub_items.tolist(), sub_values.tolist()):
+                    sketch.update(x, v)
+                    heap.offer(x, sketch.query(x))
+            else:
+                offer = heap.offer
+                for x, est in zip(sub_items.tolist(), estimates.tolist()):
+                    offer(x, est)
+
+    def query_many(self, items) -> list:
+        """Batched frequency estimates from the level-0 sketch."""
+        if not hasattr(self.sketches[0], "query_many"):
+            return BatchOpsMixin.query_many(self, items)
+        return self.sketches[0].query_many(items)
 
     # ------------------------------------------------------------------
     def gsum(self, g: Callable[[float], float]) -> float:
