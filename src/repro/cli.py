@@ -7,8 +7,12 @@ Gives the library's main workflows a shell entry point:
 * ``profile``  -- print a trace file's workload profile;
 * ``run``      -- stream a trace through a chosen sketch and report
   on-arrival error metrics plus memory actually used (``--batch-size``
-  switches to the chunked batch pipeline);
-* ``speed``    -- measure per-item vs batched ingest throughput;
+  switches to the chunked batch pipeline; ``--shards N`` runs the
+  scale-out path: shard, batched sharded ingest, merge);
+* ``speed``    -- measure per-item vs batched ingest throughput
+  (``--shards N`` measures the distributed feed doors instead);
+* ``window``   -- sliding-window sketching via epoch rotation
+  (batched ingest split exactly at epoch boundaries);
 * ``topk``     -- report the top-k flows of a trace via a sketch+heap;
 * ``figure``   -- regenerate paper figures (thin alias for
   ``python -m repro.experiments``).
@@ -23,9 +27,12 @@ import argparse
 import sys
 
 from repro.core import (
+    DistributedSketch,
     SalsaConservativeUpdate,
     SalsaCountMin,
     SalsaCountSketch,
+    WindowedSketch,
+    shard,
 )
 from repro.metrics import OnArrivalCollector
 from repro.sketches import (
@@ -84,6 +91,24 @@ SKETCHES = {
 #: sketch is an error rather than a silently ignored flag.
 ENGINE_SKETCHES = frozenset({"salsa-cms", "salsa-cus", "salsa-cs"})
 
+#: Sketches the scale-out path can merge and ship over the wire
+#: (``ops.merge`` + ``serialize``); ``--shards`` on any other sketch is
+#: an error rather than a silently wrong answer.
+MERGEABLE_SKETCHES = frozenset({"salsa-cms", "salsa-cus", "salsa-cs"})
+
+
+def _check_shards(args) -> int:
+    """Validated ``--shards`` value for the selected sketch."""
+    shards = getattr(args, "shards", 1)
+    if shards < 1:
+        raise SystemExit(f"error: --shards must be >= 1, got {shards}")
+    if shards > 1 and args.sketch not in MERGEABLE_SKETCHES:
+        raise SystemExit(
+            f"error: --shards applies to {sorted(MERGEABLE_SKETCHES)}; "
+            f"{args.sketch!r} cannot be merged from shards"
+        )
+    return shards
+
 
 def _check_engine(args) -> str | None:
     """Validated ``--engine`` value for the selected sketch."""
@@ -139,6 +164,9 @@ def cmd_profile(args) -> int:
 def cmd_run(args) -> int:
     trace = _load(args.trace)
     memory = _parse_memory(args.memory)
+    shards = _check_shards(args)
+    if shards > 1:
+        return _run_sharded(args, trace, memory, shards)
     sketch = SKETCHES[args.sketch](memory, args.seed,
                                    engine=_check_engine(args))
     collector = OnArrivalCollector()
@@ -167,11 +195,84 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _dist_factory(args, memory: int, shards: int):
+    """Fresh DistributedSketch over the selected (mergeable) sketch.
+
+    Every local is built from the same seed, so all workers share hash
+    functions -- the merge precondition -- without threading the shared
+    family through the memory-budgeted factories.
+    """
+    engine = _check_engine(args)
+    return DistributedSketch(
+        lambda fam: SKETCHES[args.sketch](memory, args.seed, engine=engine),
+        workers=shards, seed=args.seed)
+
+
+def _run_sharded(args, trace, memory: int, shards: int) -> int:
+    """``run --shards N``: shard, batched ingest, merge, final errors.
+
+    On-arrival collection does not distribute (a worker cannot see the
+    global pre-arrival state), so the sharded run reports final-state
+    per-flow errors of the *combined* sketch instead.
+    """
+    from repro.metrics import aae, nrmse
+
+    pieces = shard(trace, shards, policy=args.shard_policy, seed=args.seed)
+    dist = _dist_factory(args, memory, shards)
+    if args.batch_size > 1:
+        dist.feed_batched(pieces, batch_size=args.batch_size)
+    else:
+        dist.feed(pieces)
+    combined = dist.combined()
+    truth = trace.frequencies()
+    flows = list(truth)
+    estimates = dict(zip(flows, combined.query_many(flows)))
+    errors = [estimates[x] - truth[x] for x in flows]
+    print(f"sketch:   {args.sketch} ({memory:,}B requested, "
+          f"{combined.memory_bytes:,}B used per worker)")
+    print(f"stream:   {trace.name} ({len(trace):,} updates)")
+    print(f"sharding: {shards} workers ({args.shard_policy}), "
+          f"merged via ops.merge")
+    print(f"flows:    {len(flows):,} distinct")
+    print(f"NRMSE:    {nrmse(errors, n=len(trace)):.3e}  (final state)")
+    print(f"mean |e|: {aae(estimates, truth):.4f}")
+    return 0
+
+
 def cmd_speed(args) -> int:
-    from repro.experiments.runner import throughput_mops
+    from repro.experiments.runner import feed_throughput_mops, throughput_mops
 
     trace = _load(args.trace)
     memory = _parse_memory(args.memory)
+    shards = _check_shards(args)
+    if args.jobs > 1 and shards == 1:
+        raise SystemExit(
+            "error: --jobs only parallelizes the sharded feed; "
+            "combine it with --shards"
+        )
+    if shards > 1:
+        if args.batch_size < 2:
+            raise SystemExit(
+                "error: speed --shards compares feed_per_item vs "
+                "feed_batched; --batch-size must be >= 2"
+            )
+        pieces = shard(trace, shards, policy=args.shard_policy,
+                       seed=args.seed)
+        per_item = feed_throughput_mops(
+            _dist_factory(args, memory, shards), pieces)
+        batched = feed_throughput_mops(
+            _dist_factory(args, memory, shards), pieces,
+            batch_size=args.batch_size, jobs=args.jobs)
+        engine = _check_engine(args)
+        print(f"sketch:    {args.sketch} ({memory:,}B"
+              + (f", engine={engine}" if engine else "") + ")")
+        print(f"stream:    {trace.name} ({len(trace):,} updates, "
+              f"{shards} shards/{args.shard_policy})")
+        print(f"per-item:  {per_item * 1e6:,.0f} items/s  (feed_per_item)")
+        print(f"batched:   {batched * 1e6:,.0f} items/s "
+              f"(feed_batched, batch={args.batch_size}, jobs={args.jobs})")
+        print(f"speedup:   {batched / per_item:.2f}x")
+        return 0
     engine = _check_engine(args)
     per_item = throughput_mops(
         SKETCHES[args.sketch](memory, args.seed, engine=engine), trace)
@@ -185,6 +286,43 @@ def cmd_speed(args) -> int:
     print(f"batched:   {batched * 1e6:,.0f} items/s "
           f"(batch={args.batch_size})")
     print(f"speedup:   {batched / per_item:.2f}x")
+    return 0
+
+
+def cmd_window(args) -> int:
+    """Sliding-window ingest: epoch rotation over the chosen sketch."""
+    import numpy as np
+
+    trace = _load(args.trace)
+    memory = _parse_memory(args.memory)
+    engine = _check_engine(args)
+    if args.epoch < 1:
+        raise SystemExit(f"error: --epoch must be >= 1, got {args.epoch}")
+    win = WindowedSketch(
+        lambda: SKETCHES[args.sketch](memory, args.seed, engine=engine),
+        epoch=args.epoch)
+    if args.batch_size > 1:
+        for chunk in trace.chunks(args.batch_size):
+            win.update_many(chunk)
+    else:
+        for x in trace:
+            win.update(x)
+    # Exact window truth: the span the rotating pair currently covers
+    # is the trailing (in-epoch + one retired epoch) updates.
+    lo, hi = win.window_span
+    tail = trace.items[len(trace) - hi:] if hi else trace.items[:0]
+    print(f"sketch:    {args.sketch} ({memory:,}B/epoch, "
+          f"{win.memory_bytes:,}B resident)")
+    print(f"stream:    {trace.name} ({len(trace):,} updates)")
+    print(f"epoch:     {args.epoch:,} updates "
+          f"({win.rotations} rotations, window covers {lo:,}..{hi:,})")
+    if len(tail):
+        flows, counts = np.unique(tail, return_counts=True)
+        estimates = win.query_many(flows)
+        mean_abs = float(np.mean(np.abs(
+            np.asarray(estimates, dtype=np.float64) - counts)))
+        print(f"window:    {len(flows):,} distinct flows, "
+              f"mean |est - true| = {mean_abs:.4f}")
     return 0
 
 
@@ -254,6 +392,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--engine", choices=("bitpacked", "vector"),
                      default=None,
                      help="SALSA row storage backend (default: bitpacked)")
+    run.add_argument("--shards", type=int, default=1,
+                     help="shard across this many workers and merge "
+                          "(reports final-state errors; SALSA only)")
+    run.add_argument("--shard-policy", choices=("hash", "round_robin"),
+                     default="hash")
     run.set_defaults(func=cmd_run)
 
     speed = sub.add_parser(
@@ -267,7 +410,32 @@ def build_parser() -> argparse.ArgumentParser:
     speed.add_argument("--engine", choices=("bitpacked", "vector"),
                        default=None,
                        help="SALSA row storage backend (default: bitpacked)")
+    speed.add_argument("--shards", type=int, default=1,
+                       help="measure sharded ingest: per-item feed vs "
+                            "feed_batched (SALSA only)")
+    speed.add_argument("--shard-policy", choices=("hash", "round_robin"),
+                       default="hash")
+    speed.add_argument("--jobs", type=int, default=1,
+                       help="fork workers for feed_batched (with --shards)")
     speed.set_defaults(func=cmd_speed)
+
+    win = sub.add_parser(
+        "window", help="sliding-window (epoch-rotating) sketching")
+    win.add_argument("trace", help=".npz or .flows file")
+    win.add_argument("--sketch", choices=sorted(SKETCHES),
+                     default="salsa-cms")
+    win.add_argument("--memory", default="64K",
+                     help="budget per epoch sketch (two resident)")
+    win.add_argument("--epoch", type=int, default=10_000,
+                     help="updates per epoch (window covers 1-2 epochs)")
+    win.add_argument("--seed", type=int, default=0)
+    win.add_argument("--batch-size", type=int, default=4096,
+                     help="ingest in chunks of this many updates "
+                          "(1 = per-item loop; identical final state)")
+    win.add_argument("--engine", choices=("bitpacked", "vector"),
+                     default=None,
+                     help="SALSA row storage backend (default: bitpacked)")
+    win.set_defaults(func=cmd_window)
 
     topk = sub.add_parser("topk", help="report the heaviest flows")
     topk.add_argument("trace", help=".npz or .flows file")

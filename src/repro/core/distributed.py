@@ -7,26 +7,33 @@ sketches its shard and a coordinator combines the results.  This module
 packages that pattern:
 
 * :func:`shard` -- split a trace into per-worker shards (hash or
-  round-robin partitioning);
+  round-robin partitioning), with the hash policy vectorized through
+  :func:`repro.hashing.mix64_many` (bit-identical to the per-item
+  ``mix64`` walk it replaced);
 * :class:`DistributedSketch` -- builds one local sketch per worker
-  over a shared :class:`~repro.hashing.HashFamily`, feeds shards, and
-  merges into a single global sketch via :func:`repro.core.ops.merge`
-  (with :func:`repro.core.serialize.dumps` providing the wire format).
+  over a shared :class:`~repro.hashing.HashFamily`, feeds shards
+  (:meth:`~DistributedSketch.feed` routes through each local sketch's
+  ``update_many`` batch pipeline; :meth:`~DistributedSketch.feed_batched`
+  adds chunking and an optional fork-pool mode), and merges into a
+  single global sketch via :func:`repro.core.ops.merge` (with
+  :func:`repro.core.serialize.dumps` providing the wire format).
 
 The correctness fact the tests pin down: *merging the shard sketches
 equals sketching the whole stream* (exactly, counter-for-counter,
-under sum-merge -- see the order-invariance tests for why).
+under sum-merge -- see the order-invariance tests for why), whichever
+feed door, row engine, or shard policy was used.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from typing import Callable
 
 import numpy as np
 
 from repro.core import ops
-from repro.core.serialize import dumps, loads
-from repro.hashing import HashFamily, mix64
+from repro.core.serialize import dumps, loads, serializable
+from repro.hashing import HashFamily, mix64, mix64_many
 from repro.streams.model import Trace
 
 HASH = "hash"
@@ -41,12 +48,19 @@ def shard(trace: Trace, workers: int, policy: str = HASH,
     one worker -- the NIC-RSS model); ``round_robin`` spreads arrivals
     evenly regardless of identity (the load-balancer model).  Either
     way the shards' multisets union to the input.
+
+    The hash policy computes every worker key in one
+    :func:`~repro.hashing.mix64_many` call -- assignments are
+    bit-identical to the historical per-item
+    ``mix64(int(x) ^ mix64(seed)) % workers`` walk (uint64 arithmetic
+    wraps exactly like the masked Python mixer).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if policy == HASH:
-        keys = np.array([mix64(int(x) ^ mix64(seed)) % workers
-                         for x in trace.items.tolist()])
+        salt = np.uint64(mix64(seed))
+        keys = (mix64_many(trace.items.view(np.uint64) ^ salt)
+                % np.uint64(workers)).astype(np.int64)
     elif policy == ROUND_ROBIN:
         keys = np.arange(len(trace)) % workers
     else:
@@ -56,6 +70,40 @@ def shard(trace: Trace, workers: int, policy: str = HASH,
               name=f"{trace.name}/shard{worker}")
         for worker in range(workers)
     ]
+
+
+def _ingest(sketch, piece: Trace, batch_size: int | None) -> None:
+    """Feed one shard through a sketch's best available door.
+
+    ``batch_size=None`` hands the whole shard to ``update_many`` in one
+    call; a positive size chunks it (bounded scratch arrays).  Sketches
+    without a batch door take the per-item loop.
+    """
+    if hasattr(sketch, "update_many"):
+        if batch_size is None:
+            sketch.update_many(piece.items)
+        else:
+            update_many = sketch.update_many
+            for chunk in piece.chunks(batch_size):
+                update_many(chunk)
+    else:
+        update = sketch.update
+        for x in piece:
+            update(x)
+
+
+#: Closure state inherited by fork()ed feed workers; never pickled
+#: (mirrors ``experiments.runner._SWEEP_STATE``).
+_FEED_STATE: tuple | None = None
+
+
+def _feed_cell(worker: int) -> bytes:
+    """Feed one worker's shard in a forked process; return the local
+    sketch over the wire format."""
+    locals_, shards, batch_size = _FEED_STATE
+    sketch = locals_[worker]
+    _ingest(sketch, shards[worker], batch_size)
+    return dumps(sketch)
 
 
 class DistributedSketch:
@@ -102,22 +150,101 @@ class DistributedSketch:
         """Route one update to a worker's local sketch."""
         self.locals[worker].update(item, value)
 
-    def feed(self, shards: list[Trace]) -> None:
-        """Feed one shard per worker (lengths must match)."""
+    def update_many(self, worker: int, items, values=None) -> None:
+        """Route a batch of updates to one worker's local sketch.
+
+        Goes through the sketch's own ``update_many`` (bit-identical to
+        per-item by the batch contract); sketches without a batch door
+        take the per-item loop.
+        """
+        sketch = self.locals[worker]
+        if hasattr(sketch, "update_many"):
+            sketch.update_many(items, values)
+            return
+        from repro.sketches.base import as_batch
+
+        items, values = as_batch(items, values)
+        for x, v in zip(items.tolist(), values.tolist()):
+            sketch.update(x, v)
+
+    def _check_shards(self, shards: list[Trace]) -> None:
         if len(shards) != len(self.locals):
             raise ValueError(
                 f"{len(shards)} shards for {len(self.locals)} workers")
+
+    def feed(self, shards: list[Trace]) -> None:
+        """Feed one shard per worker (lengths must match).
+
+        Each shard goes through its sketch's ``update_many`` batch
+        pipeline when the sketch has one -- same final state as the
+        per-item loop (the batch contract), a large multiple faster.
+        """
+        self._check_shards(shards)
         for sketch, piece in zip(self.locals, shards):
+            _ingest(sketch, piece, batch_size=None)
+
+    def feed_per_item(self, shards: list[Trace]) -> None:
+        """The reference per-item feed loop.
+
+        Kept as the explicit baseline the benchmarks (and equivalence
+        tests) measure the batch doors against.
+        """
+        self._check_shards(shards)
+        for sketch, piece in zip(self.locals, shards):
+            update = sketch.update
             for x in piece:
-                sketch.update(x)
+                update(x)
+
+    def feed_batched(self, shards: list[Trace], batch_size: int = 4096,
+                     jobs: int = 1) -> None:
+        """Chunked batched ingest, optionally fanned over processes.
+
+        Serial mode feeds each worker's shard in ``batch_size`` chunks
+        through ``update_many``.  With ``jobs > 1`` (and the ``fork``
+        start method available, several workers, and serializable local
+        sketches) each worker ingests its shard in a forked process and
+        returns the sketch over the :mod:`repro.core.serialize` wire
+        format -- exactly how a real deployment's collection points
+        would ship state, and the same fork-pool pattern as
+        ``repro experiments --jobs``.  Either mode lands every local
+        sketch in the same state as :meth:`feed_per_item`.
+        """
+        self._check_shards(shards)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if (jobs > 1 and len(self.locals) > 1
+                and "fork" in multiprocessing.get_all_start_methods()
+                and all(serializable(s) for s in self.locals)):
+            global _FEED_STATE
+            _FEED_STATE = (self.locals, shards, batch_size)
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(min(jobs, len(self.locals))) as pool:
+                    blobs = pool.map(_feed_cell, range(len(self.locals)))
+            finally:
+                _FEED_STATE = None
+            self.locals = [
+                loads(blob, engine=getattr(local, "engine_name", None))
+                for blob, local in zip(blobs, self.locals)
+            ]
+            return
+        for sketch, piece in zip(self.locals, shards):
+            _ingest(sketch, piece, batch_size)
 
     def combined(self):
         """Merge all local sketches into a fresh global sketch.
 
-        Locals are serialized and deserialized first -- the coordinator
-        only ever sees the wire format, exactly as a real deployment
-        would -- then folded with :func:`repro.core.ops.merge`.
+        With several workers, locals are serialized and deserialized
+        first -- the coordinator only ever sees the wire format,
+        exactly as a real deployment would -- then folded with
+        :func:`repro.core.ops.merge`.  A single worker *is* the
+        coordinator: its sketch is returned directly (shared, not
+        copied), with no pointless wire round-trip.
         """
+        if len(self.locals) == 1:
+            return self.locals[0]
         total = loads(dumps(self.locals[0]))
         for local in self.locals[1:]:
             ops.merge(total, loads(dumps(local)))

@@ -12,7 +12,21 @@ procedure illustrated in Fig 3.
 * SALSA CMS (Strict Turnstile) supports union always and difference
   only "given a guarantee that B is a subset of A".
 
-Change detection (Fig 15 c/d) is built on :func:`subtract`.
+Change detection (Fig 15 c/d) is built on :func:`subtract`, and the
+distributed scale-out path (:mod:`repro.core.distributed`) is built on
+:func:`merge`.
+
+The absorb step is engine-aware: each row of ``b`` is exported once as
+``counters_arrays()`` and offered to ``a``'s row via ``absorb_bulk``,
+which applies every superblock where no merge/clamp/saturation can
+fire (a vectorized scatter-add on the vector engine) and reports the
+rest as a dirty mask.  Only the dirty counters replay through the
+reference ``ensure_level`` + ``add`` walk, in counter order -- and
+because counters never merge across a ``2^max_level``-aligned
+superblock, the split is observably identical to walking every counter
+(the representation-independence bar of the CRDT-emulation work in
+PAPERS.md).  The bit-packed engine reports everything dirty, keeping
+the exact reference semantics it always had.
 """
 
 from __future__ import annotations
@@ -27,17 +41,42 @@ def _check_compatible(a, b) -> None:
         raise ValueError("sketches do not share hash functions")
 
 
-def _absorb(a_row, b_row, sign: int) -> None:
-    """Fold one row of ``b`` into the matching row of ``a``.
-
-    First coarsens ``a``'s layout to cover ``b``'s, then adds each of
-    ``b``'s counter values (with ``sign``) into the covering counter;
-    ``SalsaRow.add`` performs any overflow-triggered merges.
+def _absorb_walk(a_row, counters, sign: int) -> None:
+    """The reference per-counter walk: coarsen ``a``'s layout to cover
+    each counter, then add its value (with ``sign``) into the covering
+    counter; ``SalsaRow.add`` performs any overflow-triggered merges.
     """
-    for start, level, value in list(b_row.counters()):
+    for start, level, value in counters:
         a_row.ensure_level(start, level)
         if value:
             a_row.add(start, sign * value)
+
+
+def _absorb(a_row, b_row, sign: int) -> None:
+    """Fold one row of ``b`` into the matching row of ``a``.
+
+    Bulk-first: ``b``'s counters are exported once as arrays and the
+    merge-free superblocks are applied through ``a``'s engine; only
+    counters landing in a dirty superblock (layout coarsening needed,
+    or a possible overflow) replay through the reference walk.
+    """
+    try:
+        starts, levels, values = b_row.counters_arrays()
+    except OverflowError:
+        # A counter value beyond int64 (saturated 64-bit unsigned
+        # counter): arrays cannot represent it exactly, so walk.
+        _absorb_walk(a_row, list(b_row.counters()), sign)
+        return
+    dirty = a_row.absorb_bulk(starts, levels, values, sign)
+    if dirty is None:
+        return
+    sel = dirty[starts >> a_row.max_level]
+    _absorb_walk(
+        a_row,
+        zip(starts[sel].tolist(), levels[sel].tolist(),
+            values[sel].tolist()),
+        sign,
+    )
 
 
 def merge(a, b) -> None:

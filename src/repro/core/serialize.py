@@ -119,6 +119,15 @@ def _restore_row(row: SalsaRow, payload: bytes) -> int:
     return n_layout + n_store
 
 
+def serializable(sketch) -> bool:
+    """True when :func:`dumps` supports ``sketch``'s exact type.
+
+    The distributed fork-pool ships worker sketches back over this
+    codec, so it gates that mode on this predicate.
+    """
+    return type(sketch) in _TYPES
+
+
 def dumps(sketch) -> bytes:
     """Serialize a SALSA CMS / CUS / CS sketch to bytes.
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.sketches.base import as_batch
+
 
 class WindowedSketch:
     """Two-epoch rotating window over any frequency sketch.
@@ -71,6 +73,36 @@ class WindowedSketch:
         self._in_epoch += 1
         self.n += 1
 
+    def update_many(self, items, values=None) -> None:
+        """Batched ingest, split exactly at epoch boundaries.
+
+        The batch is sliced so that each slice lands entirely within
+        one epoch and goes through the current sketch's ``update_many``
+        (or its per-item loop when it has none).  Rotation fires at
+        precisely the same update index as the per-item loop -- lazily,
+        on the first update past a full epoch -- so ``rotations``,
+        the in-epoch fill, and every query answer are identical to
+        calling :meth:`update` item by item.
+        """
+        items, values = as_batch(items, values)
+        n = len(items)
+        pos = 0
+        while pos < n:
+            if self._in_epoch >= self.epoch:
+                self.rotate()
+            take = min(self.epoch - self._in_epoch, n - pos)
+            chunk_items = items[pos:pos + take]
+            chunk_values = values[pos:pos + take]
+            if hasattr(self.current, "update_many"):
+                self.current.update_many(chunk_items, chunk_values)
+            else:
+                update = self.current.update
+                for x, v in zip(chunk_items.tolist(), chunk_values.tolist()):
+                    update(x, v)
+            self._in_epoch += take
+            self.n += take
+            pos += take
+
     def rotate(self) -> None:
         """Retire ``current`` into ``previous`` and start a new epoch."""
         self.previous = self.current
@@ -84,6 +116,21 @@ class WindowedSketch:
         if self.previous is not None:
             total += self.previous.query(item)
         return total
+
+    def query_many(self, items) -> list:
+        """Window estimates for a batch: current plus previous epoch,
+        through each resident sketch's ``query_many`` when available."""
+        items, _ = as_batch(items)
+
+        def _query(sketch):
+            if hasattr(sketch, "query_many"):
+                return list(sketch.query_many(items))
+            return [sketch.query(x) for x in items.tolist()]
+
+        totals = _query(self.current)
+        if self.previous is not None:
+            totals = [a + b for a, b in zip(totals, _query(self.previous))]
+        return totals
 
     def query_current_epoch(self, item: int) -> float:
         """Estimate over the in-progress epoch only."""

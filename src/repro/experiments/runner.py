@@ -141,6 +141,27 @@ def throughput_mops(sketch, trace, batch_size: int | None = None) -> float:
     return len(items) / elapsed / 1e6
 
 
+def feed_throughput_mops(dist, shards, batch_size: int | None = None,
+                         jobs: int = 1) -> float:
+    """Sharded ingest throughput in million updates per second.
+
+    Times one full feed of ``shards`` into a fresh
+    :class:`~repro.core.distributed.DistributedSketch`:
+    the reference per-item loop (``batch_size`` None/<=1) or the
+    batched door (``feed_batched``), optionally fanned over ``jobs``
+    fork workers.  Merging is excluded -- this measures the ingest
+    path, as the paper's speed plots measure updates only.
+    """
+    total = sum(len(piece) for piece in shards)
+    start = time.perf_counter()
+    if batch_size is not None and batch_size > 1:
+        dist.feed_batched(shards, batch_size=batch_size, jobs=jobs)
+    else:
+        dist.feed_per_item(shards)
+    elapsed = time.perf_counter() - start
+    return total / elapsed / 1e6
+
+
 # ----------------------------------------------------------------------
 # sweep helpers
 # ----------------------------------------------------------------------

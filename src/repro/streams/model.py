@@ -37,7 +37,12 @@ class Trace:
         return len(self.items)
 
     def __iter__(self):
-        return iter(self.items.tolist())
+        # Decode in bounded chunks: ``tolist`` is the fast bulk int
+        # decoder, but materializing the whole trace per iteration
+        # doubles peak memory for callers that stop early.
+        items = self.items
+        for start in range(0, len(items), 65536):
+            yield from items[start:start + 65536].tolist()
 
     @property
     def volume(self) -> int:

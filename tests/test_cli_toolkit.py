@@ -95,6 +95,67 @@ class TestTopk:
                 5, 0.2 * int(true))
 
 
+class TestSharded:
+    def test_run_with_shards(self, npz_trace, capsys):
+        assert main(["run", npz_trace, "--sketch", "salsa-cms",
+                     "--memory", "16K", "--shards", "3",
+                     "--batch-size", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "3 workers (hash)" in out
+        assert "NRMSE" in out
+
+    def test_run_shards_round_robin_per_item(self, npz_trace, capsys):
+        assert main(["run", npz_trace, "--sketch", "salsa-cs",
+                     "--memory", "16K", "--shards", "2",
+                     "--shard-policy", "round_robin"]) == 0
+        assert "round_robin" in capsys.readouterr().out
+
+    def test_run_shards_rejects_unmergeable_sketch(self, npz_trace):
+        with pytest.raises(SystemExit):
+            main(["run", npz_trace, "--sketch", "cms", "--shards", "2"])
+
+    def test_run_shards_rejects_bad_count(self, npz_trace):
+        with pytest.raises(SystemExit):
+            main(["run", npz_trace, "--sketch", "salsa-cms",
+                  "--shards", "0"])
+
+    def test_speed_with_shards(self, npz_trace, capsys):
+        assert main(["speed", npz_trace, "--sketch", "salsa-cms",
+                     "--memory", "16K", "--shards", "2",
+                     "--batch-size", "512", "--engine", "vector"]) == 0
+        out = capsys.readouterr().out
+        assert "feed_batched" in out
+        assert "speedup" in out
+
+
+class TestWindow:
+    def test_window_batched(self, npz_trace, capsys):
+        assert main(["window", npz_trace, "--epoch", "800",
+                     "--memory", "16K", "--batch-size", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "rotations" in out
+        assert "mean |est - true|" in out
+
+    def test_window_per_item_matches_batched_rotations(self, npz_trace,
+                                                       capsys):
+        assert main(["window", npz_trace, "--epoch", "800",
+                     "--memory", "16K", "--batch-size", "1"]) == 0
+        per_item = capsys.readouterr().out
+        assert main(["window", npz_trace, "--epoch", "800",
+                     "--memory", "16K", "--batch-size", "4096"]) == 0
+        batched = capsys.readouterr().out
+
+        def stats(out):
+            return [line for line in out.splitlines()
+                    if line.startswith(("epoch:", "window:"))]
+
+        assert stats(per_item) == stats(batched)
+
+    def test_window_rejects_bad_epoch(self, npz_trace):
+        with pytest.raises(SystemExit):
+            main(["window", npz_trace, "--epoch", "0"])
+
+
 class TestFigureAlias:
     def test_figure_runs_one(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_TRIALS", "1")

@@ -1,5 +1,6 @@
 """Tests for distributed sketching and hierarchical heavy hitters."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -10,6 +11,7 @@ from repro.core import (
     SalsaCountSketch,
     shard,
 )
+from repro.hashing import mix64
 from repro.tasks import HierarchicalHeavyHitters, dotted
 from repro.streams import zipf_trace
 
@@ -49,6 +51,31 @@ class TestShard:
         shards = shard(trace, 4, policy="round_robin")
         assert all(len(s) == 1_000 for s in shards)
 
+    @pytest.mark.parametrize("workers,seed", [(2, 0), (3, 7), (5, 123)])
+    def test_hash_assignment_pins_scalar_walk(self, workers, seed):
+        """The vectorized hash policy is bit-identical to the per-item
+        ``mix64(int(x) ^ mix64(seed)) % workers`` loop it replaced."""
+        trace = zipf_trace(4_000, 1.0, universe=50_000, seed=seed + 1)
+        expected = np.array([mix64(int(x) ^ mix64(seed)) % workers
+                             for x in trace.items.tolist()])
+        shards = shard(trace, workers, policy="hash", seed=seed)
+        for worker, piece in enumerate(shards):
+            assert np.array_equal(piece.items,
+                                  trace.items[expected == worker])
+
+    def test_hash_assignment_covers_negative_items(self):
+        """int64 items with the sign bit set hash like their uint64
+        bit pattern, exactly as the masked Python mixer did."""
+        from repro.streams import Trace
+
+        items = np.array([-1, -2**63, -12345, 7], dtype=np.int64)
+        trace = Trace(items)
+        expected = [mix64(int(x) ^ mix64(9)) % 3 for x in items.tolist()]
+        shards = shard(trace, 3, policy="hash", seed=9)
+        for worker, piece in enumerate(shards):
+            assert piece.items.tolist() == [
+                x for x, k in zip(items.tolist(), expected) if k == worker]
+
 
 class TestDistributedSketch:
     def _factory(self):
@@ -65,23 +92,76 @@ class TestDistributedSketch:
         with pytest.raises(ValueError):
             dist.feed(shard(trace, 3))
 
-    @pytest.mark.parametrize("policy", ["hash", "round_robin"])
-    def test_merge_equals_single_sketch(self, policy):
-        """Counter-for-counter: distributed == centralized (sum-merge)."""
-        trace = zipf_trace(20_000, 1.1, universe=2_000, seed=6)
-        dist = DistributedSketch(self._factory(), workers=4, d=4, seed=6)
-        dist.feed(shard(trace, 4, policy=policy, seed=6))
-        combined = dist.combined()
+    def _engine_factory(self, engine):
+        return lambda fam: SalsaCountMin(w=512, d=4, s=8, merge="sum",
+                                         hash_family=fam, engine=engine)
 
+    @staticmethod
+    def _assert_counters_equal(a, b):
+        for row_a, row_b in zip(a.rows, b.rows):
+            for j in range(row_b.w):
+                assert row_a.level_of(j) == row_b.level_of(j)
+                assert row_a.read(j) == row_b.read(j)
+
+    @pytest.mark.parametrize("policy", ["hash", "round_robin"])
+    @pytest.mark.parametrize("engine", ["bitpacked", "vector"])
+    def test_merge_equals_single_sketch(self, policy, engine):
+        """Counter-for-counter: distributed == centralized (sum-merge),
+        whichever feed door, shard policy, and row engine ran."""
+        trace = zipf_trace(20_000, 1.1, universe=2_000, seed=6)
+        shards = shard(trace, 4, policy=policy, seed=6)
+
+        single = None
+        for door in ("feed", "feed_per_item", "feed_batched"):
+            dist = DistributedSketch(self._engine_factory(engine),
+                                     workers=4, d=4, seed=6)
+            if door == "feed_batched":
+                # A batch size below the shard length exercises chunk
+                # boundaries inside each worker.
+                dist.feed_batched(shards, batch_size=512)
+            else:
+                getattr(dist, door)(shards)
+            combined = dist.combined()
+            if single is None:
+                single = SalsaCountMin(w=512, d=4, s=8, merge="sum",
+                                       hash_family=dist.family,
+                                       engine=engine)
+                single.update_many(trace)
+            self._assert_counters_equal(combined, single)
+
+    def test_feed_batched_fork_pool_equals_serial(self):
+        """jobs > 1 ships worker sketches back over the wire format;
+        the final state is identical to the serial batched feed."""
+        trace = zipf_trace(8_000, 1.1, universe=1_000, seed=11)
+        shards = shard(trace, 3, seed=11)
+        serial = DistributedSketch(self._factory(), workers=3, d=4,
+                                   seed=11)
+        serial.feed_batched(shards, batch_size=1024)
+        forked = DistributedSketch(self._factory(), workers=3, d=4,
+                                   seed=11)
+        forked.feed_batched(shards, batch_size=1024, jobs=2)
+        self._assert_counters_equal(forked.combined(), serial.combined())
+
+    def test_update_many_routes_to_one_worker(self):
+        dist = DistributedSketch(self._factory(), workers=3, d=4, seed=12)
+        dist.update_many(1, [5, 5, 9], [2, 3, 1])
+        assert dist.locals[1].query(5) >= 5
+        assert dist.locals[1].query(9) >= 1
+        assert dist.locals[0].query(5) == 0
+        assert dist.locals[2].query(5) == 0
+
+    def test_single_worker_combined_skips_the_wire(self):
+        """Regression: one worker is the coordinator -- ``combined``
+        returns its sketch directly, no dumps/loads round-trip."""
+        dist = DistributedSketch(self._factory(), workers=1, d=4, seed=13)
+        trace = zipf_trace(2_000, 1.0, universe=300, seed=13)
+        dist.feed(shard(trace, 1))
+        combined = dist.combined()
+        assert combined is dist.locals[0]
         single = SalsaCountMin(w=512, d=4, s=8, merge="sum",
                                hash_family=dist.family)
-        for x in trace:
-            single.update(x)
-
-        for row_c, row_s in zip(combined.rows, single.rows):
-            for j in range(row_s.w):
-                assert row_c.level_of(j) == row_s.level_of(j)
-                assert row_c.read(j) == row_s.read(j)
+        single.update_many(trace)
+        self._assert_counters_equal(combined, single)
 
     def test_count_sketch_workers(self):
         """CS merging (signed, Turnstile) distributes too."""

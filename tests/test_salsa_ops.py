@@ -95,6 +95,109 @@ class TestCmsMerge:
         assert a.query(1) >= 20
 
 
+class TestBulkAbsorbEquivalence:
+    """The engine-aware bulk absorb is observably identical to the
+    reference per-counter walk: merging (or subtracting) two
+    vector-engine sketches must leave every counter value and merge
+    level equal to the same operation on bit-packed twins -- the
+    representation-independence bar of the CRDT-emulation lens.
+    Small rows + heavy keys make overflow-triggered merges (the dirty
+    replay path) common."""
+
+    CONFIGS = {
+        "cms-sum": (SalsaCountMin, dict(w=32, d=2, s=8, merge="sum")),
+        "cms-max": (SalsaCountMin, dict(w=32, d=2, s=8, merge="max")),
+        "cus": (SalsaConservativeUpdate, dict(w=32, d=2, s=8)),
+        "cs": (SalsaCountSketch, dict(w=32, d=3, s=8)),
+    }
+
+    def _streams(self, signed, seed, n=400):
+        rng = random.Random(seed)
+        if signed:
+            return [(rng.randrange(60), rng.choice([9, 17, 40, 33, -25]))
+                    for _ in range(n)]
+        return [(rng.randrange(60), rng.randrange(1, 300))
+                for _ in range(n)]
+
+    def _pair(self, cls, kw, fam, engine, stream):
+        sk = cls(hash_family=fam, engine=engine, **kw)
+        for x, v in stream:
+            sk.update(x, v)
+        return sk
+
+    @staticmethod
+    def _assert_identical(sa, sb):
+        for ra, rb in zip(sa.rows, sb.rows):
+            for j in range(ra.w):
+                assert ra.level_of(j) == rb.level_of(j)
+                assert ra.read(j) == rb.read(j)
+
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_merge_engine_independent(self, name):
+        cls, kw = self.CONFIGS[name]
+        fam = _family(kw["d"], 21)
+        signed = name == "cs"
+        stream_a = self._streams(signed, 100)
+        stream_b = self._streams(signed, 200)
+        merged = {}
+        for engine in ("bitpacked", "vector"):
+            a = self._pair(cls, kw, fam, engine, stream_a)
+            b = self._pair(cls, kw, fam, engine, stream_b)
+            ops.merge(a, b)
+            merged[engine] = a
+        self._assert_identical(merged["bitpacked"], merged["vector"])
+        assert any(level > 0 for row in merged["vector"].rows
+                   for _s, level, _v in row.counters()), \
+            "stream too tame: no merged counters exercised"
+
+    @pytest.mark.parametrize("name", ["cms-sum", "cs"])
+    def test_subtract_engine_independent(self, name):
+        cls, kw = self.CONFIGS[name]
+        fam = _family(kw["d"], 22)
+        signed = name == "cs"
+        stream_a = self._streams(signed, 300)
+        stream_b = self._streams(signed, 400, n=150)
+        result = {}
+        for engine in ("bitpacked", "vector"):
+            a = self._pair(cls, kw, fam, engine, stream_a)
+            b = self._pair(cls, kw, fam, engine, stream_b)
+            ops.subtract(a, b)
+            result[engine] = a
+        self._assert_identical(result["bitpacked"], result["vector"])
+
+    def test_merge_across_engines(self):
+        """a and b need not share an engine: vector absorbs bitpacked
+        and vice versa, with identical results."""
+        cls, kw = self.CONFIGS["cms-sum"]
+        fam = _family(kw["d"], 23)
+        stream_a = self._streams(False, 500)
+        stream_b = self._streams(False, 600)
+        bp = self._pair(cls, kw, fam, "bitpacked", stream_a)
+        vec = self._pair(cls, kw, fam, "vector", stream_a)
+        ops.merge(bp, self._pair(cls, kw, fam, "vector", stream_b))
+        ops.merge(vec, self._pair(cls, kw, fam, "bitpacked", stream_b))
+        self._assert_identical(bp, vec)
+
+    def test_merge_into_sparse_target_takes_bulk_path(self):
+        """A wide, barely-touched pair: no merges anywhere, so the
+        vector path is pure scatter-add -- still counter-identical."""
+        fam = _family(2, 24)
+        result = {}
+        for engine in ("bitpacked", "vector"):
+            a = SalsaCountMin(w=1 << 10, d=2, merge="sum",
+                              hash_family=fam, engine=engine)
+            b = SalsaCountMin(w=1 << 10, d=2, merge="sum",
+                              hash_family=fam, engine=engine)
+            a.update(1, 10)
+            b.update(2, 20)
+            b.update(3, 7)
+            ops.merge(a, b)
+            result[engine] = a
+        self._assert_identical(result["bitpacked"], result["vector"])
+        assert result["vector"].query(1) == 10
+        assert result["vector"].query(2) == 20
+
+
 class TestCusMerge:
     def test_union_overestimates(self):
         fam = _family(4, 9)

@@ -52,6 +52,18 @@ class TestTrace:
         t = Trace(np.array([1, 2]))
         assert all(isinstance(x, int) for x in t)
 
+    def test_iteration_is_lazy_and_order_preserving(self):
+        """Regression: ``__iter__`` decodes in bounded chunks instead
+        of materializing the whole trace; order and values are
+        unchanged, including across the chunk boundary."""
+        import itertools
+
+        t = Trace(np.arange(65_536 + 17, dtype=np.int64))
+        it = iter(t)
+        assert list(itertools.islice(it, 3)) == [0, 1, 2]
+        assert list(t) == t.items.tolist()
+        assert list(t)[65_535:65_537] == [65_535, 65_536]
+
     def test_split_halves(self):
         t = Trace(np.arange(10))
         a, b = split_halves(t)
