@@ -13,6 +13,9 @@ Gives the library's main workflows a shell entry point:
   (``--shards N`` measures the distributed feed doors instead);
 * ``window``   -- sliding-window sketching via epoch rotation
   (batched ingest split exactly at epoch boundaries);
+* ``scenario`` -- the workload stress lab: ``list``/``describe`` the
+  scenario generators, or ``run`` them through a sketch (optionally
+  sharded or windowed) and print per-scenario error + throughput;
 * ``topk``     -- report the top-k flows of a trace via a sketch+heap;
 * ``figure``   -- regenerate paper figures (thin alias for
   ``python -m repro.experiments``).
@@ -326,6 +329,192 @@ def cmd_window(args) -> int:
     return 0
 
 
+def _parse_overrides(pairs) -> dict:
+    """``--set k=v`` scenario parameter overrides (int/float/str).
+
+    Integral floats (``1e5``, ``4096.0``) are coerced to int so they
+    can land in count-typed parameters (period, universe, ...) without
+    poisoning the generators' integer array arithmetic.
+    """
+    overrides = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"error: --set expects k=v, got {pair!r}")
+        key, text = pair.split("=", 1)
+        for cast in (int, float):
+            try:
+                value = cast(text)
+                break
+            except ValueError:
+                continue
+        else:
+            value = text
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        overrides[key] = value
+    return overrides
+
+
+def _scenario_specs(args, overrides=None):
+    """Resolve the requested scenario names to built generators.
+
+    Validates names *and* parameter overrides for every requested
+    scenario up front, so a multi-scenario run fails immediately and
+    atomically instead of dying mid-table after partial results.
+    """
+    from repro.experiments.scenarios import SCENARIO_SPECS
+
+    names = args.names or sorted(SCENARIO_SPECS)
+    unknown = [n for n in names if n not in SCENARIO_SPECS]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown scenario(s) {unknown}; "
+            f"known: {sorted(SCENARIO_SPECS)}")
+    built = []
+    for name in names:
+        try:
+            built.append((name,
+                          SCENARIO_SPECS[name].build(**(overrides or {}))))
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"error: {name}: {exc}")
+    return built
+
+
+def cmd_scenario_list(args) -> int:
+    from repro.experiments.scenarios import SCENARIO_SPECS
+
+    print(f"{'scenario':<12} description")
+    print("-" * 64)
+    for name in sorted(SCENARIO_SPECS):
+        print(f"{name:<12} {SCENARIO_SPECS[name].summary()}")
+    print("\n(`repro scenario describe <name>` for parameters; "
+          "`repro scenario run` to measure)")
+    return 0
+
+
+def cmd_scenario_describe(args) -> int:
+    from repro.core.windowed import WindowedSketch
+    from repro.streams.model import Trace
+
+    for name, scenario in _scenario_specs(args, _parse_overrides(args.set)):
+        print(f"== {name} ==")
+        print(scenario.describe())
+        print()
+    # The chunk semantics every scenario feeds into, straight from the
+    # layer docstrings (kept accurate there, surfaced here).
+    print("chunk semantics (Trace.chunks):")
+    print("  " + (Trace.chunks.__doc__ or "").strip().splitlines()[0])
+    print("epoch semantics (WindowedSketch.update_many):")
+    print("  " + (WindowedSketch.update_many.__doc__
+                  or "").strip().splitlines()[0])
+    return 0
+
+
+def cmd_scenario_run(args) -> int:
+    """Run each scenario through a sketch; print error + throughput.
+
+    Plain mode feeds the chunk stream through ``update_many`` and
+    reports final-state errors against the streaming exact truth.
+    ``--shards N`` routes chunks through ``DistributedSketch.feed_stream``
+    and measures the merged sketch; ``--epoch N`` feeds a
+    ``WindowedSketch`` and reports the trailing-window error instead
+    (the two modes are mutually exclusive).
+    """
+    import time
+
+    import numpy as np
+
+    from repro.metrics import aae, nrmse
+
+    memory = _parse_memory(args.memory)
+    engine = _check_engine(args)
+    shards = _check_shards(args)
+    if shards > 1 and args.epoch:
+        raise SystemExit(
+            "error: --shards and --epoch are mutually exclusive")
+    if args.chunk < 1:
+        raise SystemExit(f"error: --chunk must be >= 1, got {args.chunk}")
+    if args.length < 1:
+        raise SystemExit(f"error: --length must be >= 1, got {args.length}")
+    if args.epoch < 0:
+        raise SystemExit(
+            f"error: --epoch must be >= 1 (0 = off), got {args.epoch}")
+    scenarios = _scenario_specs(args, _parse_overrides(args.set))
+
+    mode = (f"{shards} shards ({args.shard_policy})" if shards > 1
+            else f"windowed, epoch={args.epoch:,}" if args.epoch
+            else "single sketch")
+    print(f"sketch:   {args.sketch} ({memory:,}B"
+          + (f", engine={engine}" if engine else "") + f"), {mode}")
+    print(f"stream:   length={args.length:,}, chunk={args.chunk:,}, "
+          f"seed={args.seed}")
+    if args.epoch:
+        header = (f"{'scenario':<12} {'updates':>10} {'distinct':>9} "
+                  f"{'items/s':>12} {'rotations':>9} {'window|e|':>10}")
+    else:
+        header = (f"{'scenario':<12} {'updates':>10} {'distinct':>9} "
+                  f"{'items/s':>12} {'AAE':>10} {'NRMSE':>10}")
+    print(header)
+    print("-" * len(header))
+
+    for name, scenario in scenarios:
+        # Stream once: collect the chunks for a timed ingest while the
+        # exact truth accumulates incrementally alongside.
+        chunks = []
+        truth = None
+        for chunk, truth in scenario.stream(args.length, args.chunk,
+                                            args.seed):
+            chunks.append(chunk)
+
+        if args.epoch:
+            win = WindowedSketch(
+                lambda: SKETCHES[args.sketch](memory, args.seed,
+                                              engine=engine),
+                epoch=args.epoch)
+            start = time.perf_counter()
+            for chunk in chunks:
+                win.update_many(chunk)
+            elapsed = time.perf_counter() - start
+            lo, hi = win.window_span
+            tail = (np.concatenate(chunks)[-hi:] if hi
+                    else np.empty(0, dtype=np.int64))
+            if len(tail):
+                flows, counts = np.unique(tail, return_counts=True)
+                estimates = np.asarray(win.query_many(flows),
+                                       dtype=np.float64)
+                window_err = float(np.mean(np.abs(estimates - counts)))
+            else:
+                window_err = 0.0
+            print(f"{name:<12} {truth.n:>10,} {truth.distinct:>9,} "
+                  f"{truth.n / elapsed:>12,.0f} {win.rotations:>9,} "
+                  f"{window_err:>10.4f}")
+            continue
+
+        if shards > 1:
+            sketch = _dist_factory(args, memory, shards)
+            start = time.perf_counter()
+            sketch.feed_stream(chunks, policy=args.shard_policy,
+                               seed=args.seed)
+            elapsed = time.perf_counter() - start
+            queryable = sketch.combined()
+        else:
+            queryable = sketch = SKETCHES[args.sketch](memory, args.seed,
+                                                       engine=engine)
+            start = time.perf_counter()
+            for chunk in chunks:
+                sketch.update_many(chunk)
+            elapsed = time.perf_counter() - start
+
+        flows = list(truth.counts)
+        estimates = dict(zip(flows, queryable.query_many(flows)))
+        errors = [estimates[x] - truth.counts[x] for x in flows]
+        print(f"{name:<12} {truth.n:>10,} {truth.distinct:>9,} "
+              f"{truth.n / elapsed:>12,.0f} "
+              f"{aae(estimates, truth.counts):>10.4f} "
+              f"{nrmse(errors, n=truth.n):>10.3e}")
+    return 0
+
+
 def cmd_topk(args) -> int:
     trace = _load(args.trace)
     memory = _parse_memory(args.memory)
@@ -354,6 +543,12 @@ def cmd_figure(args) -> int:
     jobs = getattr(args, "jobs", None)
     if jobs:
         argv = ["--jobs", str(jobs)] + argv
+    scenario = getattr(args, "scenario", None)
+    if scenario:
+        argv = ["--scenario", scenario] + argv
+    shards = getattr(args, "shards", None)
+    if shards:
+        argv = ["--shards", str(shards)] + argv
     return experiments_main(argv)
 
 
@@ -437,6 +632,53 @@ def build_parser() -> argparse.ArgumentParser:
                      help="SALSA row storage backend (default: bitpacked)")
     win.set_defaults(func=cmd_window)
 
+    scen = sub.add_parser(
+        "scenario", help="workload stress lab: list/describe/run")
+    scen_sub = scen.add_subparsers(dest="action", required=True)
+
+    scen_list = scen_sub.add_parser(
+        "list", help="list scenario generators")
+    scen_list.set_defaults(func=cmd_scenario_list)
+
+    scen_desc = scen_sub.add_parser(
+        "describe", help="show a scenario's docs and parameters")
+    scen_desc.add_argument("names", nargs="*",
+                           help="scenario names (default: all)")
+    scen_desc.add_argument("--set", action="append", metavar="K=V",
+                           help="override a generator parameter")
+    scen_desc.set_defaults(func=cmd_scenario_describe)
+
+    scen_run = scen_sub.add_parser(
+        "run", help="stream scenarios through a sketch; report "
+                    "error + throughput per scenario")
+    scen_run.add_argument("names", nargs="*",
+                          help="scenario names (default: all)")
+    scen_run.add_argument("--sketch", choices=sorted(SKETCHES),
+                          default="salsa-cms")
+    scen_run.add_argument("--memory", default="64K",
+                          help="budget, e.g. 8K / 2M / 4096")
+    scen_run.add_argument("--length", type=int, default=200_000,
+                          help="updates per scenario stream")
+    scen_run.add_argument("--chunk", type=int, default=8192,
+                          help="updates per generated batch")
+    scen_run.add_argument("--seed", type=int, default=0)
+    scen_run.add_argument("--set", action="append", metavar="K=V",
+                          help="override a generator parameter "
+                               "(applies to every scenario run)")
+    scen_run.add_argument("--engine", choices=("bitpacked", "vector"),
+                          default=None,
+                          help="SALSA row storage backend")
+    scen_run.add_argument("--shards", type=int, default=1,
+                          help="route chunks to this many workers "
+                               "(feed_stream) and measure the merge")
+    scen_run.add_argument("--shard-policy",
+                          choices=("hash", "round_robin"),
+                          default="hash")
+    scen_run.add_argument("--epoch", type=int, default=0,
+                          help="> 0: feed a WindowedSketch with this "
+                               "epoch and report trailing-window error")
+    scen_run.set_defaults(func=cmd_scenario_run)
+
     topk = sub.add_parser("topk", help="report the heaviest flows")
     topk.add_argument("trace", help=".npz or .flows file")
     topk.add_argument("-k", type=int, default=10)
@@ -455,6 +697,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "run (sets the process-wide default)")
     fig.add_argument("--jobs", type=int, default=None,
                      help="worker processes for independent sweep cells")
+    fig.add_argument("--scenario", default=None,
+                     help="comma-separated scenario names scoping the "
+                          "scenario_* figures")
+    fig.add_argument("--shards", type=int, default=None,
+                     help="shard every scenario sweep cell this wide")
     fig.set_defaults(func=cmd_figure)
 
     return parser

@@ -14,9 +14,11 @@ packages that pattern:
   over a shared :class:`~repro.hashing.HashFamily`, feeds shards
   (:meth:`~DistributedSketch.feed` routes through each local sketch's
   ``update_many`` batch pipeline; :meth:`~DistributedSketch.feed_batched`
-  adds chunking and an optional fork-pool mode), and merges into a
-  single global sketch via :func:`repro.core.ops.merge` (with
-  :func:`repro.core.serialize.dumps` providing the wire format).
+  adds chunking and an optional fork-pool mode;
+  :meth:`~DistributedSketch.feed_stream` routes a *live* chunk stream
+  -- e.g. a scenario generator -- through the same policies), and
+  merges into a single global sketch via :func:`repro.core.ops.merge`
+  (with :func:`repro.core.serialize.dumps` providing the wire format).
 
 The correctness fact the tests pin down: *merging the shard sketches
 equals sketching the whole stream* (exactly, counter-for-counter,
@@ -194,6 +196,40 @@ class DistributedSketch:
             update = sketch.update
             for x in piece:
                 update(x)
+
+    def feed_stream(self, chunks, policy: str = HASH, seed: int = 0) -> None:
+        """Route a live stream of update batches to the workers.
+
+        The scale-out door for workloads that are *generated* rather
+        than pre-sharded (``repro.streams.scenarios``): each incoming
+        chunk is split by the same policies :func:`shard` applies to a
+        whole trace -- ``hash`` keys every item through one
+        ``mix64_many`` call, ``round_robin`` continues a global arrival
+        counter across chunks -- and each worker's slice goes through
+        its local sketch's ``update_many``.  Because both policies are
+        pure functions of (item, arrival index), feeding chunk by chunk
+        delivers every worker exactly the subsequence (in order) that
+        ``shard(whole_trace)`` + :meth:`feed` would, so the merged
+        result is identical whichever door ran (pinned by
+        ``tests/test_scenarios.py``).
+        """
+        workers = len(self.locals)
+        salt = np.uint64(mix64(seed))
+        offset = 0
+        for chunk in chunks:
+            items = np.ascontiguousarray(chunk, dtype=np.int64)
+            if policy == HASH:
+                keys = (mix64_many(items.view(np.uint64) ^ salt)
+                        % np.uint64(workers)).astype(np.int64)
+            elif policy == ROUND_ROBIN:
+                keys = (offset + np.arange(len(items))) % workers
+                offset += len(items)
+            else:
+                raise ValueError(f"unknown policy {policy!r}")
+            for worker in range(workers):
+                part = items[keys == worker]
+                if len(part):
+                    self.update_many(worker, part)
 
     def feed_batched(self, shards: list[Trace], batch_size: int = 4096,
                      jobs: int = 1) -> None:

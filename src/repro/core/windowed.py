@@ -82,7 +82,12 @@ class WindowedSketch:
         precisely the same update index as the per-item loop -- lazily,
         on the first update past a full epoch -- so ``rotations``,
         the in-epoch fill, and every query answer are identical to
-        calling :meth:`update` item by item.
+        calling :meth:`update` item by item, for any chunking: one
+        batch may span zero, one, or many rotations (a batch longer
+        than ``2 * epoch`` simply rotates repeatedly mid-batch).  This
+        is what lets chunked feeds -- ``Trace.chunks`` or a scenario
+        generator's stream -- drive a sliding window without aligning
+        chunk size to the epoch.
         """
         items, values = as_batch(items, values)
         n = len(items)
@@ -104,7 +109,14 @@ class WindowedSketch:
             pos += take
 
     def rotate(self) -> None:
-        """Retire ``current`` into ``previous`` and start a new epoch."""
+        """Retire ``current`` into ``previous`` and start a new epoch.
+
+        The retired sketch keeps answering queries for one more epoch,
+        then is dropped wholesale -- which is also how a long-lived
+        SALSA deployment sheds counters merged for flows that stopped
+        mattering (see the churn/periodic scenarios in
+        ``docs/scenarios.md``).
+        """
         self.previous = self.current
         self.current = self.factory()
         self._in_epoch = 0
@@ -138,7 +150,14 @@ class WindowedSketch:
 
     @property
     def window_span(self) -> tuple[int, int]:
-        """(min, max) updates covered by :meth:`query` right now."""
+        """(min, max) trailing updates covered by :meth:`query` now.
+
+        ``lo`` is the in-progress epoch's fill; ``hi`` adds the retired
+        epoch when one is resident.  The exact trailing-window truth
+        for error measurement is the last ``hi`` arrivals (this is what
+        ``repro window`` and ``repro scenario run --epoch`` score
+        against).
+        """
         lo = self._in_epoch
         hi = self._in_epoch + (self.epoch if self.previous is not None else 0)
         return lo, hi

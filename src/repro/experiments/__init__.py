@@ -23,6 +23,11 @@ from repro.experiments.runner import (
 )
 from repro.experiments.report import emit, format_table
 from repro.experiments.registry import EXPERIMENTS, run
+from repro.experiments.scenarios import (
+    SCENARIO_SPECS,
+    ScenarioSpec,
+    using_scenario_grid,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -39,4 +44,7 @@ __all__ = [
     "format_table",
     "EXPERIMENTS",
     "run",
+    "ScenarioSpec",
+    "SCENARIO_SPECS",
+    "using_scenario_grid",
 ]

@@ -9,6 +9,7 @@ import time
 from repro.experiments.registry import EXPERIMENTS, run
 from repro.experiments.report import emit
 from repro.experiments.runner import using_engine, using_jobs
+from repro.experiments.scenarios import using_scenario_grid
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,6 +32,14 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 1; accuracy tables are "
                              "identical either way, and wall-clock "
                              "speed sweeps always run serial)")
+    parser.add_argument("--scenario", default=None,
+                        help="comma-separated scenario names scoping "
+                             "the scenario_* figures (default: all; "
+                             "see `repro scenario list`)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="route every scenario sweep cell through "
+                             "this many DistributedSketch workers and "
+                             "measure the merged sketch")
     args = parser.parse_args(argv)
 
     if args.list or not args.figures:
@@ -40,7 +49,9 @@ def main(argv: list[str] | None = None) -> int:
 
     targets = (sorted(EXPERIMENTS) if args.figures == ["all"]
                else args.figures)
-    with using_engine(args.engine), using_jobs(args.jobs):
+    scenarios = args.scenario.split(",") if args.scenario else None
+    with using_engine(args.engine), using_jobs(args.jobs), \
+            using_scenario_grid(scenarios, args.shards):
         for fig in targets:
             start = time.perf_counter()
             for result in run(fig):

@@ -18,6 +18,7 @@ from repro.experiments import (
     figures_extensions,
     figures_frameworks,
     figures_l1_l2,
+    figures_scenarios,
     figures_synthetic,
     figures_tasks,
 )
@@ -98,6 +99,10 @@ EXPERIMENTS: dict[str, Callable] = {
     "ext_cuckoo": figures_extensions.ext_cuckoo,
     "ext_partitioned": figures_extensions.ext_partitioned,
     "ablation_hashing": figures_extensions.ablation_hashing,
+    # Scenario workload sweeps (the stress lab beyond static traces;
+    # scoped by --scenario / --shards via using_scenario_grid).
+    "scenario_error": figures_scenarios.scenario_error,
+    "scenario_speed": figures_scenarios.scenario_speed,
 }
 
 

@@ -16,6 +16,13 @@ for change detection are built by splitting a trace into halves
 
 from repro.streams.model import Trace, split_halves
 from repro.streams.zipf import zipf_trace
+from repro.streams.scenarios import (
+    SCENARIO_NAMES,
+    SCENARIOS,
+    Scenario,
+    StreamingTruth,
+    make_scenario,
+)
 from repro.streams.file_io import load_trace, save_trace
 from repro.streams.traces import (
     synthetic_caida,
@@ -62,6 +69,12 @@ __all__ = [
     "Trace",
     "split_halves",
     "zipf_trace",
+    # scenario workloads
+    "Scenario",
+    "StreamingTruth",
+    "SCENARIOS",
+    "SCENARIO_NAMES",
+    "make_scenario",
     "synthetic_caida",
     "synthetic_univ2",
     "synthetic_youtube",

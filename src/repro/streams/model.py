@@ -17,6 +17,13 @@ import numpy as np
 class Trace:
     """An ordered stream of unit-weight item arrivals.
 
+    The exchange format between workload generators and sketches:
+    iteration yields Python ints in arrival order (decoded in bounded
+    blocks), :meth:`chunks` yields the same sequence as
+    ``update_many``-ready array batches, and the statistics
+    (:meth:`frequencies`, :meth:`moment`, :meth:`entropy`) are exact
+    and cached per trace.
+
     Attributes
     ----------
     items:
@@ -84,11 +91,18 @@ class Trace:
         return Trace(self.items[:n], name=f"{self.name}[:{n}]")
 
     def chunks(self, n: int):
-        """Yield the trace as int64 array views of at most ``n`` arrivals.
+        """Yield the trace as int64 batches of at most ``n`` arrivals.
 
-        The batch-ingestion unit: feeding every chunk through
-        ``sketch.update_many`` processes exactly the same update
-        sequence as per-item iteration, chunk boundaries included.
+        The batch-ingestion unit everywhere in the library: chunks are
+        *views* (no copies), every chunk has exactly ``n`` arrivals
+        except a possibly-short last one, and concatenating the chunks
+        reproduces the trace bit-for-bit.  Feeding every chunk through
+        ``sketch.update_many`` therefore processes exactly the same
+        update sequence as per-item iteration -- chunk boundaries are
+        unobservable to any sketch honouring the batch contract.  The
+        scenario generators (``repro.streams.scenarios``) emit the
+        same chunk shape for streams that are generated rather than
+        stored.
         """
         if n < 1:
             raise ValueError(f"chunk size must be >= 1, got {n}")

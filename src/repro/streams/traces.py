@@ -22,6 +22,8 @@ quantities that drive counter-overflow (and hence SALSA-merge) dynamics.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.streams.model import Trace
@@ -104,7 +106,11 @@ def synthetic_caida(length: int, variant: str = "ny18", seed: int = 0,
     if cache and key in _cache:
         return _cache[key]
     prof = _PROFILES[variant]
-    rng = np.random.default_rng(seed ^ hash(variant) & 0xFFFF)
+    # crc32, not hash(): Python's string hash is randomized per
+    # process, which silently made ny18/ch16 irreproducible across
+    # runs (and broke the scenario layer's cross-process determinism
+    # contract for dataset replays).
+    rng = np.random.default_rng(seed ^ zlib.crc32(variant.encode()) & 0xFFFF)
     sizes = _rank_size_flows(length, prof["mean_flow"], prof["skew"],
                              prof["max_share"], rng)
     trace = _materialize(sizes, length, seed, name=variant)

@@ -14,6 +14,38 @@ from repro.streams.model import Trace
 
 _cache: dict[tuple, Trace] = {}
 
+#: Fixed odd multiplier (golden-ratio hash) used to decouple item
+#: identity from generator rank; shared with the scenario generators.
+_MIX = 0x9E3779B1
+
+
+def mix_ids(ranks: np.ndarray, salt: int = 12345) -> np.ndarray:
+    """Map int64 ranks to scattered 31-bit ids, deterministically.
+
+    Adjacent-rank items share no low bits (real flow ids are
+    arbitrary); a fixed odd multiplier keeps the mapping deterministic
+    and invertible.  Distinct ``salt`` values *decorrelate* rank
+    mixings but do NOT make them disjoint (the affine maps cover the
+    same 31-bit residues) -- callers needing a population that cannot
+    collide with the base id space must also tag it, as the scenario
+    generators do with ``| (1 << 31)``.
+    """
+    return (ranks * _MIX + salt) & 0x7FFFFFFF
+
+
+def zipf_cdf(universe: int, skew: float) -> np.ndarray:
+    """Inverse-CDF table for Zipf(``skew``) over ``universe`` ranks."""
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = ranks ** -skew
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return cdf
+
+
+def zipf_ranks(cdf: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Ranks (0-based int64) for uniform draws ``u`` via the CDF."""
+    return np.searchsorted(cdf, u, side="left").astype(np.int64)
+
 
 def zipf_trace(
     length: int,
@@ -47,18 +79,8 @@ def zipf_trace(
     if cache and key in _cache:
         return _cache[key]
 
-    ranks = np.arange(1, universe + 1, dtype=np.float64)
-    weights = ranks ** -skew
-    cdf = np.cumsum(weights)
-    cdf /= cdf[-1]
     rng = np.random.default_rng(seed)
-    u = rng.random(length)
-    items = np.searchsorted(cdf, u, side="left").astype(np.int64)
-
-    # Decouple item identity from rank so adjacent-rank items do not
-    # share low bits (real flow ids are arbitrary); a fixed odd
-    # multiplier keeps this deterministic and invertible.
-    items = (items * 0x9E3779B1 + 12345) & 0x7FFFFFFF
+    items = mix_ids(zipf_ranks(zipf_cdf(universe, skew), rng.random(length)))
 
     trace = Trace(items, name=f"zipf{skew:g}")
     if cache:

@@ -156,6 +156,73 @@ class TestWindow:
             main(["window", npz_trace, "--epoch", "0"])
 
 
+class TestScenario:
+    def test_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("stationary", "drift", "flash", "churn",
+                     "periodic", "replay"):
+            assert name in out
+
+    def test_describe_surfaces_layer_docs(self, capsys):
+        assert main(["scenario", "describe", "drift"]) == 0
+        out = capsys.readouterr().out
+        assert "period = 16384" in out
+        # The chunk/epoch semantics quoted from the layer docstrings.
+        assert "Trace.chunks" in out and "WindowedSketch" in out
+
+    def test_run_all_scenarios(self, capsys):
+        assert main(["scenario", "run", "--length", "6000",
+                     "--chunk", "1024", "--memory", "16K"]) == 0
+        out = capsys.readouterr().out
+        for name in ("stationary", "drift", "flash", "churn",
+                     "periodic", "replay"):
+            assert name in out
+        assert "AAE" in out and "NRMSE" in out and "items/s" in out
+
+    def test_run_sharded(self, capsys):
+        assert main(["scenario", "run", "drift", "--length", "6000",
+                     "--shards", "3", "--engine", "vector",
+                     "--memory", "16K"]) == 0
+        out = capsys.readouterr().out
+        assert "3 shards (hash)" in out and "engine=vector" in out
+
+    def test_run_windowed(self, capsys):
+        assert main(["scenario", "run", "periodic", "--length", "8000",
+                     "--epoch", "2000", "--memory", "16K"]) == 0
+        out = capsys.readouterr().out
+        assert "rotations" in out and "window|e|" in out
+
+    def test_run_with_param_override(self, capsys):
+        assert main(["scenario", "run", "stationary", "--set",
+                     "skew=1.4", "--length", "5000",
+                     "--memory", "16K"]) == 0
+        assert "stationary" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "tsunami"])
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "drift", "--set", "skew"])
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "drift", "--set", "bogus=1",
+                  "--length", "2000"])
+
+    def test_shards_and_epoch_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "drift", "--shards", "2",
+                  "--epoch", "1000"])
+
+    def test_shards_require_mergeable_sketch(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "drift", "--sketch", "cms",
+                  "--shards", "2"])
+
+
 class TestFigureAlias:
     def test_figure_runs_one(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_TRIALS", "1")
@@ -163,6 +230,16 @@ class TestFigureAlias:
         code = main(["figure", "fig5b"])
         assert code == 0
         assert "fig5b" in capsys.readouterr().out
+
+    def test_figure_scenario_grid_passthrough(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "1")
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        code = main(["figure", "--scenario", "flash", "--shards", "2",
+                     "scenario_error"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario_error_flash" in out and "[2 shards]" in out
+        assert "drift" not in out                 # grid was scoped
 
 
 def test_module_entry_point():

@@ -140,3 +140,77 @@ class TestConfig:
     def test_trials_floor(self, monkeypatch):
         monkeypatch.setenv("REPRO_TRIALS", "0")
         assert config.trials() == 1
+
+
+class TestScenarioSweeps:
+    """The ScenarioSpec registry and the scenario_* figures."""
+
+    def test_specs_cover_every_scenario(self):
+        from repro.experiments.scenarios import SCENARIO_SPECS
+        from repro.streams import SCENARIO_NAMES
+
+        assert tuple(sorted(SCENARIO_SPECS)) == SCENARIO_NAMES
+        for spec in SCENARIO_SPECS.values():
+            assert spec.summary()
+            assert spec.build().trace(100, seed=0).volume == 100
+
+    def test_spec_build_overrides_win(self):
+        from repro.experiments.scenarios import SCENARIO_SPECS
+
+        scenario = SCENARIO_SPECS["drift"].build(period=99)
+        assert scenario.params["period"] == 99
+
+    def test_grid_scoping_and_validation(self):
+        from repro.experiments.scenarios import (
+            get_scenario_grid,
+            get_scenario_shards,
+            using_scenario_grid,
+        )
+
+        assert len(get_scenario_grid()) >= 6
+        with using_scenario_grid(["drift"], shards=2):
+            assert [s.name for s in get_scenario_grid()] == ["drift"]
+            assert get_scenario_shards() == 2
+        assert len(get_scenario_grid()) >= 6
+        assert get_scenario_shards() == 1
+        with pytest.raises(ValueError, match="unknown scenario"):
+            using_scenario_grid(["tsunami"]).__enter__()
+        with pytest.raises(ValueError, match="shards"):
+            using_scenario_grid(shards=0).__enter__()
+
+    def test_scenario_error_one_table_per_grid_entry(self, monkeypatch):
+        from repro.experiments.scenarios import using_scenario_grid
+
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        monkeypatch.setenv("REPRO_TRIALS", "1")
+        with using_scenario_grid(["flash", "replay"]):
+            results = run("scenario_error")
+        assert [r.figure for r in results] == [
+            "scenario_error_flash", "scenario_error_replay"]
+        for result in results:
+            assert {s.name for s in result.series} >= {"SALSA CMS"}
+            assert all(s.points for s in result.series)
+
+    def test_scenario_error_sharded_matches_single_for_sum_free_cells(
+            self, monkeypatch):
+        """Sharding changes the route, not the table shape."""
+        from repro.experiments.scenarios import using_scenario_grid
+
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        monkeypatch.setenv("REPRO_TRIALS", "1")
+        with using_scenario_grid(["drift"], shards=3):
+            (result,) = run("scenario_error")
+        assert "[3 shards]" in result.title
+        assert {s.name for s in result.series} == {"SALSA CMS",
+                                                   "SALSA CUS"}
+
+    def test_scenario_speed_series_per_scenario(self, monkeypatch):
+        from repro.experiments.scenarios import using_scenario_grid
+
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        monkeypatch.setenv("REPRO_TRIALS", "1")
+        with using_scenario_grid(["drift", "churn"]):
+            (result,) = run("scenario_speed")
+        assert {s.name for s in result.series} == {"drift", "churn"}
+        for series in result.series:
+            assert all(mops.mean > 0 for _, mops in series.points)
